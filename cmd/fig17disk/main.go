@@ -1,0 +1,34 @@
+// fig17disk regenerates Figure 17, the disk head-scheduling test: random
+// 4 KB reads from a 1 GB file by N concurrent threads, hybrid runtime
+// (AIO) vs the NPTL baseline (blocking pread), on the calibrated disk
+// model. The NPTL column stops at its 16 K-thread stack budget, as in the
+// paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybrid/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced read volume (shape only)")
+	maxThreads := flag.Int("max-threads", 65536, "largest thread count")
+	flag.Parse()
+
+	cfg := bench.DefaultFig17()
+	if *quick {
+		cfg = bench.Fig17Quick()
+	}
+	var counts []int
+	for n := 1; n <= *maxThreads; n *= 4 {
+		counts = append(counts, n)
+	}
+	fmt.Println("Figure 17: disk head scheduling (throughput vs working threads)")
+	fmt.Printf("file=%dMB total-read=%dMB block=%dB\n\n",
+		cfg.FileBytes>>20, cfg.TotalReadBytes>>20, cfg.BlockBytes)
+	pts := bench.Fig17(cfg, counts)
+	bench.PrintSeries(os.Stdout, "threads", pts, "Hybrid (AIO)", "NPTL (pread)")
+}

@@ -1,0 +1,35 @@
+// fig18fifo regenerates Figure 18, the FIFO-pipe scalability test: 128
+// pairs of active threads exchanging 32 KB messages through 4 KB pipes
+// while up to 100 K idle threads wait for epoll events that never come.
+// This benchmark is CPU/memory-bound and runs on the wall clock; expect
+// absolute MB/s to reflect the host machine, and the curves' flatness to
+// reflect the systems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybrid/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "fewer pairs and rounds (shape only)")
+	maxIdle := flag.Int("max-idle", 100_000, "largest idle-thread count")
+	flag.Parse()
+
+	cfg := bench.DefaultFig18()
+	if *quick {
+		cfg = bench.Fig18Quick()
+	}
+	counts := []int{0}
+	for n := 100; n <= *maxIdle; n *= 10 {
+		counts = append(counts, n)
+	}
+	fmt.Println("Figure 18: FIFO pipe throughput vs idle threads (wall clock)")
+	fmt.Printf("pairs=%d message=%dKB pipe=%dB rounds=%d\n\n",
+		cfg.Pairs, cfg.MessageBytes>>10, cfg.PipeBytes, cfg.Rounds)
+	pts := bench.Fig18(cfg, counts)
+	bench.PrintSeries(os.Stdout, "idle", pts, "Hybrid (epoll)", "NPTL (blocking)")
+}

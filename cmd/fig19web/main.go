@@ -1,0 +1,41 @@
+// fig19web regenerates Figure 19, the web-server comparison: clients
+// request random 16 KB files from a 128K-file set; the hybrid server
+// (monadic threads + AIO + 100 MB application cache) is compared with the
+// Apache stand-in (thread-per-connection blocking server whose page cache
+// is squeezed by kernel-thread stacks). -cached runs the paper's
+// mostly-cached variant instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybrid/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller fileset and request count")
+	cached := flag.Bool("cached", false, "mostly-cached working set (§5.2 text)")
+	maxConns := flag.Int("max-conns", 1024, "largest connection count")
+	flag.Parse()
+
+	cfg := bench.DefaultFig19()
+	if *quick {
+		cfg = bench.Fig19Quick()
+	}
+	cfg.Cached = *cached
+	var counts []int
+	for n := 1; n <= *maxConns; n *= 4 {
+		counts = append(counts, n)
+	}
+	label := "disk-intensive"
+	if *cached {
+		label = "mostly-cached"
+	}
+	fmt.Printf("Figure 19: web server under %s load (throughput vs connections)\n", label)
+	fmt.Printf("files=%d×%dKB cache=%dMB requests=%d\n\n",
+		cfg.Files, cfg.FileBytes>>10, cfg.CacheBytes>>20, cfg.TotalRequests)
+	pts := bench.Fig19(cfg, counts)
+	bench.PrintSeries(os.Stdout, "connections", pts, "Hybrid server", "Apache-like")
+}

@@ -1,0 +1,33 @@
+// memtest reproduces the paper's §5.1 memory-consumption experiment:
+// launch millions of monadic threads and measure live heap per thread
+// after garbage collection. The paper runs ten million threads at 48
+// bytes each on a 2 GB machine; pass -threads to choose the scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybrid/internal/bench"
+)
+
+func main() {
+	threads := flag.Int("threads", 1_000_000, "number of monadic threads to park")
+	sweep := flag.Bool("sweep", false, "sweep 10k/100k/1M/10M instead of a single point")
+	flag.Parse()
+
+	counts := []int{*threads}
+	if *sweep {
+		counts = []int{10_000, 100_000, 1_000_000, 10_000_000}
+	}
+	fmt.Println("Memory consumption of parked monadic threads (paper §5.1;")
+	fmt.Println("the paper measures 48 bytes/thread for 10M Haskell threads)")
+	fmt.Printf("%-12s %16s %14s\n", "threads", "bytes/thread", "total")
+	for _, n := range counts {
+		p := bench.MemTest(n)
+		fmt.Printf("%-12d %16.1f %11.1f MB\n",
+			p.Threads, p.BytesPerThread, float64(p.TotalBytes)/(1<<20))
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,72 @@
+package hybrid_test
+
+import (
+	"fmt"
+	"time"
+
+	"hybrid"
+)
+
+// The hybrid model in miniature: threads written in sequential style,
+// scheduled by an event-driven runtime.
+func Example() {
+	rt := hybrid.NewRuntime(hybrid.Options{Workers: 1})
+	defer rt.Shutdown()
+
+	ch := hybrid.NewChan[string](2)
+	rt.Run(hybrid.Seq(
+		hybrid.Fork(ch.Send("from a forked thread")),
+		hybrid.Bind(ch.Recv(), func(msg string) hybrid.M[hybrid.Unit] {
+			return hybrid.Do(func() { fmt.Println(msg) })
+		}),
+	))
+	// Output: from a forked thread
+}
+
+// Exceptions propagate to the nearest Catch, across scheduling points.
+func ExampleCatch() {
+	rt := hybrid.NewRuntime(hybrid.Options{Workers: 1})
+	defer rt.Shutdown()
+
+	rt.Run(hybrid.Catch(
+		hybrid.Seq(
+			hybrid.Yield(),
+			hybrid.Throw[hybrid.Unit](fmt.Errorf("disk on fire")),
+		),
+		func(err error) hybrid.M[hybrid.Unit] {
+			return hybrid.Do(func() { fmt.Println("handled:", err) })
+		},
+	))
+	// Output: handled: disk on fire
+}
+
+// A virtual clock makes time a deterministic simulation input: three
+// sleepers wake in order, instantly in wall-clock terms.
+func ExampleNewVirtualClock() {
+	clk := hybrid.NewVirtualClock()
+	rt := hybrid.NewRuntime(hybrid.Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+
+	sleeper := func(d time.Duration) hybrid.M[hybrid.Unit] {
+		return hybrid.Then(hybrid.Sleep(clk, d), hybrid.Do(func() {
+			fmt.Println("woke at", time.Duration(clk.Now()))
+		}))
+	}
+	rt.Run(hybrid.Seq(
+		hybrid.Fork(sleeper(30*time.Millisecond)),
+		hybrid.Fork(sleeper(10*time.Millisecond)),
+		hybrid.Fork(sleeper(20*time.Millisecond)),
+	))
+	// Output:
+	// woke at 10ms
+	// woke at 20ms
+	// woke at 30ms
+}
+
+// BuildTrace exposes the event abstraction: the thread as a data
+// structure a scheduler can traverse (the paper's Figure 5).
+func ExampleBuildTrace() {
+	tr := hybrid.BuildTrace(hybrid.Seq(hybrid.Yield(), hybrid.Skip))
+	fmt.Printf("%T\n", tr)
+	// Output: *core.YieldNode
+}

@@ -1,0 +1,3 @@
+module hybrid
+
+go 1.24

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The harness tests verify the *shape* of each figure at reduced volume:
+// who wins, what rises, and where the baseline hits its wall.
+
+func TestFig17ThroughputRisesWithThreads(t *testing.T) {
+	cfg := Fig17Quick()
+	t1 := Fig17Hybrid(cfg, 1)
+	t64 := Fig17Hybrid(cfg, 64)
+	if !(t64 > t1) {
+		t.Fatalf("hybrid disk throughput did not rise with threads: 1→%.3f 64→%.3f", t1, t64)
+	}
+	// Calibration: the paper's band is ~0.52-0.68 MB/s.
+	if t1 < 0.3 || t1 > 0.9 {
+		t.Errorf("1-thread throughput %.3f MB/s outside calibration band", t1)
+	}
+}
+
+func TestFig17NPTLComparable(t *testing.T) {
+	cfg := Fig17Quick()
+	h := Fig17Hybrid(cfg, 64)
+	n := Fig17NPTL(cfg, 64)
+	if math.IsNaN(n) {
+		t.Fatal("NPTL failed below its thread budget")
+	}
+	// The paper: comparable, hybrid slightly ahead at high concurrency.
+	if !(h >= n) {
+		t.Fatalf("hybrid %.3f < NPTL %.3f at 64 threads", h, n)
+	}
+	if n < h*0.8 {
+		t.Fatalf("NPTL %.3f implausibly far behind hybrid %.3f", n, h)
+	}
+}
+
+func TestFig17NPTLWallAt16K(t *testing.T) {
+	cfg := Fig17Quick()
+	cfg.NPTLBudget = 64 * 32 * 1024 // 64 threads worth of stacks
+	if v := Fig17NPTL(cfg, 64); math.IsNaN(v) {
+		t.Fatal("NPTL failed at its exact budget")
+	}
+	if v := Fig17NPTL(cfg, 65); !math.IsNaN(v) {
+		t.Fatalf("NPTL exceeded its stack budget: %.3f", v)
+	}
+}
+
+func TestFig18HybridFlatUnderIdleLoad(t *testing.T) {
+	cfg := Fig18Quick()
+	base := Fig18Hybrid(cfg, 0)
+	loaded := Fig18Hybrid(cfg, 2000)
+	if base <= 0 || loaded <= 0 {
+		t.Fatalf("throughputs: %f %f", base, loaded)
+	}
+	// Idle threads must be near-free: allow 40% noise on a tiny run.
+	if loaded < base*0.6 {
+		t.Fatalf("2000 idle threads collapsed throughput: %.1f → %.1f MB/s", base, loaded)
+	}
+}
+
+func TestFig18NPTLRunsAndIsSlower(t *testing.T) {
+	cfg := Fig18Quick()
+	h := Fig18Hybrid(cfg, 100)
+	n := Fig18NPTL(cfg, 100)
+	if math.IsNaN(n) || n <= 0 {
+		t.Fatalf("NPTL throughput = %f", n)
+	}
+	// The paper reports the hybrid ~30% ahead; require it at least not
+	// to lose by much on a small run.
+	if h < n*0.7 {
+		t.Fatalf("hybrid %.1f MB/s far behind NPTL %.1f MB/s", h, n)
+	}
+}
+
+func TestFig18NPTLBudgetWall(t *testing.T) {
+	cfg := Fig18Quick()
+	cfg.NPTLBudget = 64 * 32 * 1024
+	if v := Fig18NPTL(cfg, 1000); !math.IsNaN(v) {
+		t.Fatalf("NPTL ran with 1000 idle threads on a 64-thread budget: %f", v)
+	}
+}
+
+func TestFig19ThroughputRisesWithConnections(t *testing.T) {
+	cfg := Fig19Quick()
+	t1 := Fig19Hybrid(cfg, 1)
+	t64 := Fig19Hybrid(cfg, 64)
+	if !(t64 > t1) {
+		t.Fatalf("web throughput did not rise: 1 conn %.3f, 64 conns %.3f MB/s", t1, t64)
+	}
+}
+
+func TestFig19HybridBeatsApacheAtHighConcurrency(t *testing.T) {
+	cfg := Fig19Quick()
+	h := Fig19Hybrid(cfg, 64)
+	a := Fig19Apache(cfg, 64)
+	if math.IsNaN(a) || a <= 0 {
+		t.Fatalf("apache throughput = %f", a)
+	}
+	if !(h >= a) {
+		t.Fatalf("hybrid %.3f < apache-like %.3f at 64 conns", h, a)
+	}
+}
+
+func TestFig19CachedWorkloadFaster(t *testing.T) {
+	cfg := Fig19Quick()
+	cold := Fig19Hybrid(cfg, 16)
+	cfg.Cached = true
+	warm := Fig19Hybrid(cfg, 16)
+	if !(warm > cold*2) {
+		t.Fatalf("cached workload %.3f not clearly faster than disk-bound %.3f", warm, cold)
+	}
+}
+
+func TestMemTestPerThreadSmall(t *testing.T) {
+	p := MemTest(100_000)
+	if p.BytesPerThread <= 0 {
+		t.Fatalf("bytes/thread = %f", p.BytesPerThread)
+	}
+	// The paper reports 48 bytes in Haskell; Go closures and the TCB are
+	// heavier, but a monadic thread must stay well under a kilobyte —
+	// orders of magnitude below goroutine or kernel-thread stacks.
+	if p.BytesPerThread > 1024 {
+		t.Fatalf("bytes/thread = %.1f, want < 1024", p.BytesPerThread)
+	}
+}
+
+func TestPrintSeries(t *testing.T) {
+	var sb strings.Builder
+	PrintSeries(&sb, "threads", []Point{
+		{X: 1, Hybrid: 0.5, NPTL: 0.4},
+		{X: 100000, Hybrid: 0.7, NPTL: math.NaN()},
+	}, "Hybrid", "NPTL")
+	out := sb.String()
+	if !strings.Contains(out, "threads") || !strings.Contains(out, "0.500 MB/s") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatal("NaN not rendered as absent")
+	}
+}
+
+func TestFig17Series(t *testing.T) {
+	cfg := Fig17Quick()
+	pts := Fig17(cfg, []int{1, 16})
+	if len(pts) != 2 || pts[0].X != 1 || pts[1].X != 16 {
+		t.Fatalf("points: %+v", pts)
+	}
+}
+
+// ABL-ELEVATOR: concurrency without the elevator buys nothing — the
+// FCFS-disk ablation stays flat while C-LOOK rises.
+func TestFig17ElevatorAblation(t *testing.T) {
+	cfg := Fig17Quick()
+	clook := Fig17Hybrid(cfg, 256)
+	fcfs := Fig17HybridFCFS(cfg, 256)
+	if !(clook > fcfs*1.1) {
+		t.Fatalf("elevator advantage missing at depth 256: C-LOOK %.3f vs FCFS %.3f", clook, fcfs)
+	}
+	fcfs1 := Fig17HybridFCFS(cfg, 1)
+	if fcfs > fcfs1*1.1 {
+		t.Fatalf("FCFS improved with concurrency (%.3f -> %.3f); it should stay flat", fcfs1, fcfs)
+	}
+}

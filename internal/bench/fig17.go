@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"hybrid/internal/core"
+	"hybrid/internal/disk"
+	"hybrid/internal/hio"
+	"hybrid/internal/kernel"
+	"hybrid/internal/nptl"
+	"hybrid/internal/vclock"
+)
+
+// Fig17Config parameterizes the disk head-scheduling test: "each thread
+// randomly reads a 4KB block from a 1GB file opened using O_DIRECT
+// without caching. Each test reads a total of 512MB."
+type Fig17Config struct {
+	// FileBytes is the file size. Paper: 1 GB.
+	FileBytes int64
+	// TotalReadBytes per run. Paper: 512 MB.
+	TotalReadBytes int64
+	// BlockBytes per read. Paper: 4 KB.
+	BlockBytes int
+	// NPTLBudget caps baseline stack memory (paper machine: 512 MB →
+	// 16 K threads at 32 KB).
+	NPTLBudget int64
+	// Seed for the offset streams.
+	Seed uint64
+}
+
+// DefaultFig17 is the paper's configuration.
+func DefaultFig17() Fig17Config {
+	return Fig17Config{
+		FileBytes:      1 << 30,
+		TotalReadBytes: 512 << 20,
+		BlockBytes:     4096,
+		NPTLBudget:     512 << 20,
+		Seed:           1,
+	}
+}
+
+// scaled shrinks the experiment for quick runs, preserving shape.
+func (c Fig17Config) scaled(factor int64) Fig17Config {
+	c.TotalReadBytes /= factor
+	if c.TotalReadBytes < int64(c.BlockBytes)*64 {
+		c.TotalReadBytes = int64(c.BlockBytes) * 64
+	}
+	return c
+}
+
+// Fig17Quick is a reduced-volume configuration for tests and testing.B.
+func Fig17Quick() Fig17Config { return DefaultFig17().scaled(256) }
+
+// offsets produces the deterministic random block offsets for a thread.
+func fig17Offsets(cfg Fig17Config, thread int, reads int) []int64 {
+	rng := cfg.Seed ^ (uint64(thread)+1)*0x9E3779B97F4A7C15
+	out := make([]int64, reads)
+	blocks := cfg.FileBytes / int64(cfg.BlockBytes)
+	for i := range out {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		out[i] = int64(rng%uint64(blocks)) * int64(cfg.BlockBytes)
+	}
+	return out
+}
+
+// Fig17Hybrid measures the hybrid runtime: threads monadic, reads via
+// sys_aio_read, disk elevator shared. Returns MB/s of virtual time.
+func Fig17Hybrid(cfg Fig17Config, threads int) float64 {
+	clk := vclock.NewVirtual()
+	k := kernel.New(clk)
+	fs := kernel.NewFS(disk.New(clk, disk.BenchGeometry()))
+	f, err := fs.Create("big", cfg.FileBytes, false)
+	if err != nil {
+		panic(err)
+	}
+	rt := core.NewRuntime(core.Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	io := hio.New(rt, k, fs)
+	defer io.Close()
+	return fig17Run(cfg, threads, clk, rt, io, f)
+}
+
+// fig17Run drives the monadic read workload and reports MB/s.
+func fig17Run(cfg Fig17Config, threads int, clk *vclock.VirtualClock, rt *core.Runtime, io *hio.IO, f *kernel.File) float64 {
+	totalReads := int(cfg.TotalReadBytes / int64(cfg.BlockBytes))
+	perThread, extra := totalReads/threads, totalReads%threads
+
+	var start vclock.Time
+	done := make(chan vclock.Time, 1)
+	wg := core.NewWaitGroup(threads)
+	prog := core.Seq(
+		core.Do(func() { start = clk.Now() }),
+		core.ForN(threads, func(ti int) core.M[core.Unit] {
+			reads := perThread
+			if ti < extra {
+				reads++
+			}
+			offs := fig17Offsets(cfg, ti, reads)
+			buf := make([]byte, cfg.BlockBytes)
+			return core.Fork(core.Finally(
+				core.ForN(reads, func(i int) core.M[core.Unit] {
+					return core.Bind(io.AIORead(f, offs[i], buf), func(int) core.M[core.Unit] {
+						return core.Skip
+					})
+				}),
+				wg.Done(),
+			))
+		}),
+		wg.Wait(),
+		core.Do(func() { done <- clk.Now() }),
+	)
+	rt.Spawn(prog)
+	end := <-done
+	elapsed := time.Duration(end - start)
+	if elapsed <= 0 {
+		return math.NaN()
+	}
+	return float64(cfg.TotalReadBytes) / float64(MB) / elapsed.Seconds()
+}
+
+// Fig17NPTL measures the baseline: one kernel thread per concurrent read,
+// blocking pread, 32 KB stacks under the memory budget. Returns MB/s or
+// NaN when the thread count cannot be spawned (the paper's 16 K wall).
+func Fig17NPTL(cfg Fig17Config, threads int) float64 {
+	clk := vclock.NewVirtual()
+	k := kernel.New(clk)
+	fs := kernel.NewFS(disk.New(clk, disk.BenchGeometry()))
+	f, err := fs.Create("big", cfg.FileBytes, false)
+	if err != nil {
+		panic(err)
+	}
+	rt := nptl.New(k, fs, nptl.Config{MemoryBudget: cfg.NPTLBudget, StackTouch: -1})
+
+	totalReads := int(cfg.TotalReadBytes / int64(cfg.BlockBytes))
+	perThread, extra := totalReads/threads, totalReads%threads
+
+	start := clk.Now()
+	var spawnFailed bool
+	var mu sync.Mutex
+	for ti := 0; ti < threads; ti++ {
+		reads := perThread
+		if ti < extra {
+			reads++
+		}
+		offs := fig17Offsets(cfg, ti, reads)
+		err := rt.Spawn(func(t *nptl.Thread) {
+			buf := make([]byte, cfg.BlockBytes)
+			for i := 0; i < reads; i++ {
+				if _, err := t.Pread(f, buf, offs[i]); err != nil {
+					mu.Lock()
+					spawnFailed = true
+					mu.Unlock()
+					return
+				}
+			}
+		})
+		if err != nil {
+			spawnFailed = true
+			break
+		}
+	}
+	rt.Wait()
+	if spawnFailed {
+		return math.NaN()
+	}
+	elapsed := time.Duration(clk.Now() - start)
+	if elapsed <= 0 {
+		return math.NaN()
+	}
+	return float64(cfg.TotalReadBytes) / float64(MB) / elapsed.Seconds()
+}
+
+// Fig17 runs both systems across the given thread counts.
+func Fig17(cfg Fig17Config, threadCounts []int) []Point {
+	out := make([]Point, 0, len(threadCounts))
+	for _, n := range threadCounts {
+		out = append(out, Point{X: n, Hybrid: Fig17Hybrid(cfg, n), NPTL: Fig17NPTL(cfg, n)})
+	}
+	return out
+}
+
+// Fig17HybridFCFS is the ablation run: the same hybrid workload on a disk
+// that services requests in arrival order. The gap between this and
+// Fig17Hybrid isolates the elevator as the mechanism behind the figure.
+func Fig17HybridFCFS(cfg Fig17Config, threads int) float64 {
+	clk := vclock.NewVirtual()
+	k := kernel.New(clk)
+	fs := kernel.NewFS(disk.NewWithScheduler(clk, disk.BenchGeometry(), disk.FCFS))
+	f, err := fs.Create("big", cfg.FileBytes, false)
+	if err != nil {
+		panic(err)
+	}
+	rt := core.NewRuntime(core.Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	io := hio.New(rt, k, fs)
+	defer io.Close()
+	return fig17Run(cfg, threads, clk, rt, io, f)
+}

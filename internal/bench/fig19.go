@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"math"
+	"time"
+
+	"hybrid/internal/core"
+	"hybrid/internal/disk"
+	"hybrid/internal/hio"
+	"hybrid/internal/httpd"
+	"hybrid/internal/kernel"
+	"hybrid/internal/loadgen"
+	"hybrid/internal/nptl"
+	"hybrid/internal/vclock"
+)
+
+// Fig19Config parameterizes the web-server comparison: "each client
+// thread repeatedly requests a file chosen at random from among 128K
+// possible files available on the server; each file is 16KB in size …
+// Our web server used a fixed cache size of 100MB," over a 100 Mbps
+// link, with the Linux disk cache flushed before each run.
+type Fig19Config struct {
+	// Files in the set. Paper: 128 K.
+	Files int
+	// FileBytes each. Paper: 16 KB.
+	FileBytes int64
+	// CacheBytes for both servers. Paper: 100 MB.
+	CacheBytes int64
+	// TotalRequests per run (split across connections).
+	TotalRequests int
+	// RTT and Bandwidth model the client-server Ethernet.
+	RTT       time.Duration
+	Bandwidth int64
+	// Seed for client request streams.
+	Seed uint64
+	// Cached, when true, shrinks the working set to fit the cache — the
+	// paper's "mostly-cached workloads (not shown in the figure)".
+	Cached bool
+}
+
+// DefaultFig19 is the paper's configuration.
+func DefaultFig19() Fig19Config {
+	return Fig19Config{
+		Files:         128 * 1024,
+		FileBytes:     16 * 1024,
+		CacheBytes:    100 << 20,
+		TotalRequests: 8192,
+		RTT:           300 * time.Microsecond,
+		Bandwidth:     100_000_000 / 8,
+		Seed:          7,
+	}
+}
+
+// Fig19Quick is reduced for tests.
+func Fig19Quick() Fig19Config {
+	c := DefaultFig19()
+	c.Files = 2048
+	c.CacheBytes = 2 << 20
+	c.TotalRequests = 512
+	return c
+}
+
+// effectiveFiles applies the Cached switch: a working set that fits the
+// cache.
+func (c Fig19Config) effectiveFiles() int {
+	if !c.Cached {
+		return c.Files
+	}
+	fit := int(c.CacheBytes / c.FileBytes / 2)
+	if fit < 1 {
+		fit = 1
+	}
+	if fit > c.Files {
+		fit = c.Files
+	}
+	return fit
+}
+
+// fig19Site builds the shared substrate: kernel, fileset, client runtime.
+func fig19Site(cfg Fig19Config) (*vclock.VirtualClock, *kernel.Kernel, *kernel.FS, *core.Runtime, *hio.IO) {
+	clk := vclock.NewVirtual()
+	k := kernel.New(clk)
+	fs := kernel.NewFS(disk.New(clk, disk.BenchGeometry()))
+	if err := loadgen.MakeFileset(fs, cfg.Files, cfg.FileBytes); err != nil {
+		panic(err)
+	}
+	rt := core.NewRuntime(core.Options{Workers: 1, Clock: clk})
+	io := hio.New(rt, k, fs)
+	return clk, k, fs, rt, io
+}
+
+// runLoad drives the generator to completion and returns MB/s of virtual
+// time.
+func runLoad(clk *vclock.VirtualClock, rt *core.Runtime, io *hio.IO, cfg Fig19Config, conns int) float64 {
+	per := cfg.TotalRequests / conns
+	if per < 1 {
+		per = 1
+	}
+	gen := loadgen.New(io, loadgen.Config{
+		Addr:              "web:80",
+		Clients:           conns,
+		Files:             cfg.effectiveFiles(),
+		RequestsPerClient: per,
+		Seed:              cfg.Seed,
+		RTT:               cfg.RTT,
+		Bandwidth:         cfg.Bandwidth,
+	})
+	start := clk.Now()
+	done := make(chan struct{})
+	var end vclock.Time
+	// Capture the end time inside the workload: once the generator's
+	// last thread parks, the quiescent clock races through any pending
+	// timers before this goroutine could observe Now().
+	rt.Spawn(core.Then(gen.Run(), core.Do(func() {
+		end = clk.Now()
+		close(done)
+	})))
+	<-done
+	elapsed := time.Duration(end - start)
+	if elapsed <= 0 || gen.Requests.Load() == 0 {
+		return math.NaN()
+	}
+	return float64(gen.Bytes.Load()) / float64(MB) / elapsed.Seconds()
+}
+
+// Fig19Hybrid measures the paper's web server: monadic threads, AIO,
+// application-level cache.
+func Fig19Hybrid(cfg Fig19Config, conns int) float64 {
+	clk, _, _, rt, io := fig19Site(cfg)
+	defer rt.Shutdown()
+	defer io.Close()
+	srv := httpd.NewServer(io, httpd.ServerConfig{
+		CacheBytes: cfg.CacheBytes,
+		ChunkBytes: int(cfg.FileBytes),
+	})
+	rt.Spawn(srv.ListenAndServe("web:80"))
+	return runLoad(clk, rt, io, cfg, conns)
+}
+
+// Fig19Apache measures the baseline: thread-per-connection blocking
+// server whose page cache is squeezed by thread stacks.
+func Fig19Apache(cfg Fig19Config, conns int) float64 {
+	clk, k, fs, rt, io := fig19Site(cfg)
+	defer rt.Shutdown()
+	defer io.Close()
+	nrt := nptl.New(k, fs, nptl.Config{MemoryBudget: 512 << 20, StackTouch: -1})
+	ap := httpd.NewApacheLike(nrt, k, fs, httpd.ApacheConfig{
+		PageCacheBytes: cfg.CacheBytes,
+		ChunkBytes:     int(cfg.FileBytes),
+	})
+	if err := ap.ListenAndServe("web:80"); err != nil {
+		panic(err)
+	}
+	return runLoad(clk, rt, io, cfg, conns)
+}
+
+// Fig19 runs both servers across the connection counts.
+func Fig19(cfg Fig19Config, connCounts []int) []Point {
+	out := make([]Point, 0, len(connCounts))
+	for _, n := range connCounts {
+		out = append(out, Point{X: n, Hybrid: Fig19Hybrid(cfg, n), NPTL: Fig19Apache(cfg, n)})
+	}
+	return out
+}

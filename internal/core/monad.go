@@ -1,0 +1,158 @@
+package core
+
+// M is the CPS concurrency monad: a computation that produces a value of
+// type A, represented as a function from the rest of the thread (the
+// continuation, of type func(A) Trace) to the thread's trace. This is the
+// paper's
+//
+//	newtype M a = M ((a -> Trace) -> Trace)
+//
+// written with Go generics. Go has no higher-kinded types, so return and
+// bind are top-level generic functions rather than methods of a Monad
+// class, and there is no do-notation: threads are written by chaining Bind
+// and the loop combinators below (the "monadic style forced" trade-off of
+// this reproduction).
+type M[A any] func(k func(A) Trace) Trace
+
+// Return lifts a value into the monad: given a continuation, it simply
+// invokes it on the value.
+func Return[A any](x A) M[A] {
+	return func(k func(A) Trace) Trace { return k(x) }
+}
+
+// Bind sequentially composes two computations, threading the continuation
+// through both: Bind(m, f) runs m, passes its result to f, and runs the
+// resulting computation.
+func Bind[A, B any](m M[A], f func(A) M[B]) M[B] {
+	return func(k func(B) Trace) Trace {
+		return m(func(a A) Trace { return f(a)(k) })
+	}
+}
+
+// Then sequences two computations, discarding the result of the first
+// (Haskell's >>).
+func Then[A, B any](m M[A], n M[B]) M[B] {
+	return func(k func(B) Trace) Trace {
+		return m(func(A) Trace { return n(k) })
+	}
+}
+
+// Map applies a pure function to the result of a computation (fmap).
+func Map[A, B any](m M[A], f func(A) B) M[B] {
+	return func(k func(B) Trace) Trace {
+		return m(func(a A) Trace { return k(f(a)) })
+	}
+}
+
+// Skip is the unit computation: it does nothing (Haskell's return ()).
+var Skip M[Unit] = Return(Unit{})
+
+// Seq sequences unit computations in order, a stand-in for a do-block of
+// statements.
+func Seq(ms ...M[Unit]) M[Unit] {
+	switch len(ms) {
+	case 0:
+		return Skip
+	case 1:
+		return ms[0]
+	}
+	return func(k func(Unit) Trace) Trace {
+		var step func(i int) Trace
+		step = func(i int) Trace {
+			if i == len(ms)-1 {
+				return ms[i](k)
+			}
+			return ms[i](func(Unit) Trace { return step(i + 1) })
+		}
+		return step(0)
+	}
+}
+
+// BuildTrace converts a thread into its trace by supplying the final
+// continuation (a leaf RetNode), exactly as the paper's build_trace.
+func BuildTrace(m M[Unit]) Trace {
+	return m(func(Unit) Trace { return ret })
+}
+
+// ---------------------------------------------------------------------------
+// Stack-safe loop combinators
+// ---------------------------------------------------------------------------
+//
+// CPS in Go pushes a stack frame per bind even for tail calls, so a pure
+// loop written by naive recursion would overflow the Go stack. The loop
+// combinators below bounce each iteration through a trampoline node (a
+// pure NBIONode), which unwinds the Go stack to the scheduler between
+// iterations; the scheduler's batching (Options.BatchSteps) keeps the
+// bounce cheap. Any loop containing a real system call gets the same
+// unwinding for free.
+
+// Loop runs body repeatedly for as long as it returns true.
+func Loop(body M[bool]) M[Unit] {
+	return func(k func(Unit) Trace) Trace {
+		var iter func() Trace
+		iter = func() Trace {
+			return body(func(again bool) Trace {
+				if !again {
+					return k(Unit{})
+				}
+				return &NBIONode{Effect: iter}
+			})
+		}
+		return iter()
+	}
+}
+
+// Forever runs body repeatedly, never returning. The thread can still end
+// via Halt or Throw inside the body.
+func Forever(body M[Unit]) M[Unit] {
+	return Loop(Then(body, Return(true)))
+}
+
+// ForN runs body(0), body(1), …, body(n-1) in order.
+func ForN(n int, body func(i int) M[Unit]) M[Unit] {
+	return func(k func(Unit) Trace) Trace {
+		var iter func(i int) Trace
+		iter = func(i int) Trace {
+			if i >= n {
+				return k(Unit{})
+			}
+			return body(i)(func(Unit) Trace {
+				return &NBIONode{Effect: func() Trace { return iter(i + 1) }}
+			})
+		}
+		return iter(0)
+	}
+}
+
+// ForEach runs body on each element of xs in order.
+func ForEach[A any](xs []A, body func(A) M[Unit]) M[Unit] {
+	return ForN(len(xs), func(i int) M[Unit] { return body(xs[i]) })
+}
+
+// While runs body repeatedly for as long as cond returns true. cond is an
+// effectful computation, so it can inspect shared state via NBIO.
+func While(cond M[bool], body M[Unit]) M[Unit] {
+	return Loop(Bind(cond, func(ok bool) M[bool] {
+		if !ok {
+			return Return(false)
+		}
+		return Then(body, Return(true))
+	}))
+}
+
+// FoldN threads an accumulator through n iterations of body, returning the
+// final accumulator. It is stack-safe like the other loop combinators.
+func FoldN[A any](n int, acc A, body func(i int, acc A) M[A]) M[A] {
+	return func(k func(A) Trace) Trace {
+		var iter func(i int, acc A) Trace
+		iter = func(i int, acc A) Trace {
+			if i >= n {
+				return k(acc)
+			}
+			return body(i, acc)(func(next A) Trace {
+				return &NBIONode{Effect: func() Trace { return iter(i+1, next) }}
+			})
+		}
+		return iter(0, acc)
+	}
+}

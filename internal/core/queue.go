@@ -1,0 +1,188 @@
+package core
+
+import "sync"
+
+// readyQueue abstracts the scheduler's task queue (Figure 14's arrows).
+// The default sharedQueue is the paper's single ready_queue; stealingQueue
+// implements the per-scheduler queues with work stealing that §4.4
+// sketches as an improvement.
+type readyQueue interface {
+	// push appends a runnable thread.
+	push(t *TCB)
+	// pop removes a thread for the given worker, blocking until one is
+	// available. It returns ok=false once the queue is closed and,
+	// for the shared queue, drained of nothing further to do.
+	pop(worker int) (*TCB, bool)
+	// close releases all blocked workers.
+	close()
+	// size reports the number of queued threads (diagnostics).
+	size() int
+}
+
+// ---------------------------------------------------------------------------
+// sharedQueue: one global FIFO ring, the paper's ready_queue (a Chan in
+// the Haskell implementation).
+// ---------------------------------------------------------------------------
+
+type sharedQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ring   []*TCB
+	head   int
+	count  int
+	closed bool
+}
+
+func newSharedQueue() *sharedQueue {
+	q := &sharedQueue{ring: make([]*TCB, 64)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *sharedQueue) push(t *TCB) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.grow()
+	q.ring[(q.head+q.count)%len(q.ring)] = t
+	q.count++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// grow doubles the ring when full. Called with q.mu held.
+func (q *sharedQueue) grow() {
+	if q.count < len(q.ring) {
+		return
+	}
+	bigger := make([]*TCB, len(q.ring)*2)
+	for i := 0; i < q.count; i++ {
+		bigger[i] = q.ring[(q.head+i)%len(q.ring)]
+	}
+	q.ring = bigger
+	q.head = 0
+}
+
+func (q *sharedQueue) pop(int) (*TCB, bool) {
+	q.mu.Lock()
+	for q.count == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.count == 0 {
+		q.mu.Unlock()
+		return nil, false
+	}
+	t := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) % len(q.ring)
+	q.count--
+	q.mu.Unlock()
+	return t, true
+}
+
+func (q *sharedQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *sharedQueue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// ---------------------------------------------------------------------------
+// stealingQueue: one deque per worker; a worker drains its own deque and
+// steals from the others when it runs dry. Pushes from outside any worker
+// are distributed round-robin. A single lock guards all deques — adequate
+// at this repository's scale and keeps the stealing logic obviously
+// correct; the ablation benchmark compares queue disciplines, not lock
+// implementations.
+// ---------------------------------------------------------------------------
+
+type stealingQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	deques [][]*TCB
+	rr     int
+	total  int
+	closed bool
+}
+
+func newStealingQueue(workers int) *stealingQueue {
+	q := &stealingQueue{deques: make([][]*TCB, workers)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *stealingQueue) push(t *TCB) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	i := q.rr % len(q.deques)
+	q.rr++
+	q.deques[i] = append(q.deques[i], t)
+	q.total++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *stealingQueue) pop(worker int) (*TCB, bool) {
+	q.mu.Lock()
+	for q.total == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.total == 0 {
+		q.mu.Unlock()
+		return nil, false
+	}
+	// Own deque first (FIFO for round-robin fairness within a worker)…
+	if w := worker % len(q.deques); len(q.deques[w]) > 0 {
+		t := q.popFrom(w)
+		q.mu.Unlock()
+		return t, true
+	}
+	// …then steal from the victim with the most queued work.
+	victim, best := -1, 0
+	for i, d := range q.deques {
+		if len(d) > best {
+			victim, best = i, len(d)
+		}
+	}
+	t := q.popFrom(victim)
+	q.mu.Unlock()
+	return t, true
+}
+
+// popFrom removes the oldest thread from deque i. Called with q.mu held
+// and the deque known non-empty.
+func (q *stealingQueue) popFrom(i int) *TCB {
+	d := q.deques[i]
+	t := d[0]
+	d[0] = nil
+	q.deques[i] = d[1:]
+	if len(q.deques[i]) == 0 {
+		q.deques[i] = nil // let the backing array be collected
+	}
+	q.total--
+	return t
+}
+
+func (q *stealingQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *stealingQueue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"hybrid/internal/vclock"
+)
+
+// ErrTimedOut is raised by Timeout when the deadline wins the race.
+var ErrTimedOut = errors.New("core: operation timed out")
+
+// FirstOf runs two computations in freshly forked threads and produces
+// the outcome — result or exception — of whichever finishes first.
+//
+// The paper's model has no thread cancellation (a trace is consumed, not
+// killed), so the loser keeps running to completion in its own thread and
+// its outcome is discarded. Use it only with computations that are safe
+// to let finish, or that park harmlessly (a Sleep, an EpollWait on a
+// quiet descriptor).
+func FirstOf[A any](a, b M[A]) M[A] {
+	return func(k func(A) Trace) Trace {
+		// The gate lives per-execution, created when the trace is built:
+		// re-running the returned computation races fresh threads.
+		type outcome struct {
+			val A
+			err error
+		}
+		g := struct {
+			mu     sync.Mutex
+			fired  bool
+			have   bool
+			first  outcome
+			resume func(outcome)
+		}{}
+		fire := func(o outcome) {
+			g.mu.Lock()
+			if g.fired {
+				g.mu.Unlock()
+				return
+			}
+			g.fired = true
+			if g.resume != nil {
+				resume := g.resume
+				g.mu.Unlock()
+				resume(o)
+				return
+			}
+			g.first = o
+			g.have = true
+			g.mu.Unlock()
+		}
+		arm := func(m M[A]) M[Unit] {
+			// The child reports its outcome, success or exception.
+			return Bind(
+				Catch(
+					Map(m, func(x A) outcome { return outcome{val: x} }),
+					func(err error) M[outcome] { return Return(outcome{err: err}) },
+				),
+				func(o outcome) M[Unit] { return Do(func() { fire(o) }) },
+			)
+		}
+		race := Seq(
+			Fork(arm(a)),
+			Fork(arm(b)),
+		)
+		wait := Suspend(func(resume func(outcome)) {
+			g.mu.Lock()
+			if g.have {
+				o := g.first
+				g.mu.Unlock()
+				resume(o)
+				return
+			}
+			g.resume = resume
+			g.mu.Unlock()
+		})
+		m := Then(race, Bind(wait, func(o outcome) M[A] {
+			if o.err != nil {
+				return Throw[A](o.err)
+			}
+			return Return(o.val)
+		}))
+		return m(k)
+	}
+}
+
+// Timeout runs m with a deadline on the given clock: if d elapses first,
+// it raises ErrTimedOut. Per FirstOf's semantics, m itself is not
+// cancelled — it keeps running in its thread and its eventual outcome is
+// discarded.
+func Timeout[A any](clk vclock.Clock, d vclock.Duration, m M[A]) M[A] {
+	return FirstOf(m, Then(Sleep(clk, d), Throw[A](ErrTimedOut)))
+}

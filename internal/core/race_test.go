@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybrid/internal/vclock"
+)
+
+func TestFirstOfImmediateWinner(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	var got atomic.Int64
+	rt.Spawn(Bind(
+		FirstOf(Return(1), Then(Sleep(clk, time.Second), Return(2))),
+		func(x int) M[Unit] { return Do(func() { got.Store(int64(x)) }) },
+	))
+	waitFor(t, func() bool { return got.Load() == 1 })
+}
+
+func TestFirstOfSleeperOrdering(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	var got atomic.Int64
+	done := make(chan struct{})
+	rt.Spawn(Bind(
+		FirstOf(
+			Then(Sleep(clk, 30*time.Millisecond), Return(30)),
+			Then(Sleep(clk, 10*time.Millisecond), Return(10)),
+		),
+		func(x int) M[Unit] {
+			return Do(func() { got.Store(int64(x)); close(done) })
+		},
+	))
+	<-done
+	if got.Load() != 10 {
+		t.Fatalf("winner = %d, want the 10ms sleeper", got.Load())
+	}
+}
+
+func TestFirstOfErrorWins(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	boom := errors.New("fast failure")
+	var caught atomic.Value
+	done := make(chan struct{})
+	rt.Spawn(Catch(
+		Then(FirstOf(Throw[int](boom), Then(Sleep(clk, time.Second), Return(1))), Skip),
+		func(err error) M[Unit] {
+			return Do(func() { caught.Store(err); close(done) })
+		},
+	))
+	<-done
+	if !errors.Is(caught.Load().(error), boom) {
+		t.Fatalf("caught %v", caught.Load())
+	}
+}
+
+func TestFirstOfLoserKeepsRunning(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	var loserRan atomic.Bool
+	done := make(chan struct{})
+	rt.Spawn(Then(
+		FirstOf(
+			Return(1),
+			Then(Sleep(clk, time.Millisecond), NBIO(func() int {
+				loserRan.Store(true)
+				return 2
+			})),
+		),
+		Do(func() { close(done) }),
+	))
+	<-done
+	rt.WaitIdle() // the loser thread drains on its own
+	if !loserRan.Load() {
+		t.Fatal("loser thread was cancelled; the model has no cancellation")
+	}
+}
+
+func TestTimeoutExpires(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	never := Suspend(func(func(int)) {}) // parks forever
+	var caught atomic.Value
+	done := make(chan struct{})
+	rt.Spawn(Catch(
+		Then(Timeout(clk, 50*time.Millisecond, never), Skip),
+		func(err error) M[Unit] {
+			return Do(func() { caught.Store(err); close(done) })
+		},
+	))
+	<-done
+	if !errors.Is(caught.Load().(error), ErrTimedOut) {
+		t.Fatalf("caught %v", caught.Load())
+	}
+	if clk.Now() != vclock.Time(50*time.Millisecond) {
+		t.Fatalf("timed out at %v", clk.Now())
+	}
+}
+
+func TestTimeoutCompletesInTime(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	var got atomic.Int64
+	done := make(chan struct{})
+	rt.Spawn(Bind(
+		Timeout(clk, time.Second, Then(Sleep(clk, 10*time.Millisecond), Return(7))),
+		func(x int) M[Unit] { return Do(func() { got.Store(int64(x)); close(done) }) },
+	))
+	<-done
+	if got.Load() != 7 {
+		t.Fatalf("got %d", got.Load())
+	}
+}
+
+func TestFirstOfReusableComputation(t *testing.T) {
+	// The same FirstOf value executed twice must race fresh threads.
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	race := FirstOf(Return("a"), Then(Sleep(clk, time.Hour), Return("b")))
+	var got [2]string
+	done := make(chan struct{})
+	rt.Spawn(Bind(race, func(x string) M[Unit] {
+		return Bind(race, func(y string) M[Unit] {
+			return Do(func() { got[0], got[1] = x, y; close(done) })
+		})
+	}))
+	<-done
+	if got[0] != "a" || got[1] != "a" {
+		t.Fatalf("got %v", got)
+	}
+}

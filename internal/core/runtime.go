@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hybrid/internal/vclock"
+)
+
+// TCB is a thread control block: everything the runtime keeps per monadic
+// thread. As in the paper (§5.1), the entire thread-local state is the
+// trace (a chain of closures standing in for the lazy thunk) and the
+// exception-handler stack; this is why the threads are so light.
+type TCB struct {
+	id         uint64
+	trace      Trace
+	handlers   []func(error) Trace
+	blioEffect func() Trace // set while the thread is queued for the blio pool
+}
+
+// ID reports the thread's identifier, unique within its runtime.
+func (t *TCB) ID() uint64 { return t.id }
+
+// Options configures a Runtime.
+type Options struct {
+	// Workers is the number of worker_main event loops (§4.4). Each runs
+	// on its own goroutine (the stand-in for the paper's OS threads), so
+	// more than one exploits SMP. Default 1.
+	Workers int
+	// BatchSteps is how many trace nodes a worker interprets before
+	// putting a thread back on the ready queue, the paper's "a thread is
+	// executed for a large number of steps before switching to another
+	// thread to improve locality" (§4.2). Default 128.
+	BatchSteps int
+	// BlioWorkers is the size of the blocking-I/O thread pool (§4.6).
+	// Zero means blocking effects run inline on the worker loop (only
+	// safe if nothing actually blocks). Default 2.
+	BlioWorkers int
+	// WorkStealing enables one ready deque per worker with stealing, the
+	// load-balancing improvement the paper sketches at the end of §4.4.
+	// Default off: one shared queue, as in the paper's implementation.
+	WorkStealing bool
+	// Clock is the timing domain the runtime participates in. Default a
+	// fresh real (wall-clock) clock.
+	Clock vclock.Clock
+	// Uncaught is invoked when an exception propagates off the top of a
+	// thread; the thread terminates either way. Default: collect the
+	// error (see Runtime.UncaughtErrors).
+	Uncaught func(threadID uint64, err error)
+	// TrapPanics converts Go panics inside NBIO/Blio effects into monadic
+	// exceptions of type *PanicError instead of crashing the worker.
+	TrapPanics bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.BatchSteps <= 0 {
+		o.BatchSteps = 128
+	}
+	if o.BlioWorkers < 0 {
+		o.BlioWorkers = 0
+	} else if o.BlioWorkers == 0 {
+		o.BlioWorkers = 2
+	}
+	if o.Clock == nil {
+		o.Clock = vclock.NewReal()
+	}
+	return o
+}
+
+// PanicError wraps a Go panic recovered from a thread's effect when
+// Options.TrapPanics is set.
+type PanicError struct{ Value any }
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic in thread effect: %v", e.Value) }
+
+// Runtime is the event-driven system of the paper's Figure 14: worker
+// event loops draining a ready queue of traces, plus a blocking-I/O pool.
+// Event sources (epoll, AIO, timers, TCP) are plugged in from outside via
+// Suspend; the runtime itself is I/O-agnostic.
+type Runtime struct {
+	opts  Options
+	clock vclock.Clock
+
+	ready readyQueue
+	blio  *sharedQueue // unbounded queue feeding the blocking-I/O pool
+
+	nextID   atomic.Uint64
+	live     atomic.Int64
+	spawned  atomic.Uint64
+	switches atomic.Uint64 // dispatches of a TCB by a worker
+
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+
+	uncaughtMu sync.Mutex
+	uncaught   []error
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewRuntime starts a runtime: Options.Workers worker event loops and a
+// blocking-I/O pool, all waiting for threads.
+func NewRuntime(opts Options) *Runtime {
+	opts = opts.withDefaults()
+	rt := &Runtime{opts: opts, clock: opts.Clock}
+	rt.idleCond = sync.NewCond(&rt.idleMu)
+	if opts.WorkStealing {
+		rt.ready = newStealingQueue(opts.Workers)
+	} else {
+		rt.ready = newSharedQueue()
+	}
+	for i := 0; i < opts.Workers; i++ {
+		rt.wg.Add(1)
+		go rt.workerMain(i)
+	}
+	if opts.BlioWorkers > 0 {
+		rt.blio = newSharedQueue()
+		for i := 0; i < opts.BlioWorkers; i++ {
+			rt.wg.Add(1)
+			go rt.workerBlio()
+		}
+	}
+	return rt
+}
+
+// Clock reports the runtime's timing domain.
+func (rt *Runtime) Clock() vclock.Clock { return rt.clock }
+
+// Spawn creates a new monadic thread running m. It may be called from
+// outside the runtime or from effects within it.
+func (rt *Runtime) Spawn(m M[Unit]) {
+	rt.spawnTrace(BuildTrace(m))
+}
+
+func (rt *Runtime) spawnTrace(tr Trace) {
+	tcb := &TCB{id: rt.nextID.Add(1), trace: tr}
+	rt.live.Add(1)
+	rt.spawned.Add(1)
+	rt.enqueue(tcb)
+}
+
+// enqueue makes a thread runnable. Every queued or running thread holds
+// one busy count on the clock, taken here and released when a worker
+// finishes with the thread (parks it, ends it, or re-enqueues it, which
+// takes a fresh hold first).
+func (rt *Runtime) enqueue(tcb *TCB) {
+	rt.clock.Enter()
+	rt.ready.push(tcb)
+}
+
+// Live reports the number of threads that have been spawned and not yet
+// terminated (including parked threads).
+func (rt *Runtime) Live() int64 { return rt.live.Load() }
+
+// Spawned reports the total number of threads ever spawned.
+func (rt *Runtime) Spawned() uint64 { return rt.spawned.Load() }
+
+// Switches reports how many times a worker dispatched a thread; the
+// difference between two readings measures context-switch traffic.
+func (rt *Runtime) Switches() uint64 { return rt.switches.Load() }
+
+// QueueDepth reports the number of threads currently runnable but not
+// being executed (diagnostics; the paper's event-loop queues made
+// visible).
+func (rt *Runtime) QueueDepth() int { return rt.ready.size() }
+
+// UncaughtErrors returns the exceptions that reached the top of a thread,
+// when no Options.Uncaught hook was installed.
+func (rt *Runtime) UncaughtErrors() []error {
+	rt.uncaughtMu.Lock()
+	defer rt.uncaughtMu.Unlock()
+	out := make([]error, len(rt.uncaught))
+	copy(out, rt.uncaught)
+	return out
+}
+
+// WaitIdle blocks until no live threads remain. Parked threads count as
+// live, so a system that deadlocks never becomes idle (use the virtual
+// clock's OnIdle hook to detect that in tests).
+func (rt *Runtime) WaitIdle() {
+	rt.idleMu.Lock()
+	for rt.live.Load() != 0 {
+		rt.idleCond.Wait()
+	}
+	rt.idleMu.Unlock()
+}
+
+// Run spawns m and waits until every thread in the runtime (m and
+// anything it forked) has terminated.
+func (rt *Runtime) Run(m M[Unit]) {
+	rt.Spawn(m)
+	rt.WaitIdle()
+}
+
+// Shutdown stops the worker loops. Threads still queued are discarded;
+// call WaitIdle first for a clean drain. Shutdown is idempotent.
+func (rt *Runtime) Shutdown() {
+	if !rt.closed.CompareAndSwap(false, true) {
+		return
+	}
+	rt.ready.close()
+	if rt.blio != nil {
+		rt.blio.close()
+	}
+	rt.wg.Wait()
+}
+
+func (rt *Runtime) threadDone(tcb *TCB) {
+	if rt.live.Add(-1) == 0 {
+		rt.idleMu.Lock()
+		rt.idleCond.Broadcast()
+		rt.idleMu.Unlock()
+	}
+}
+
+func (rt *Runtime) reportUncaught(tcb *TCB, err error) {
+	if rt.opts.Uncaught != nil {
+		rt.opts.Uncaught(tcb.id, err)
+		return
+	}
+	rt.uncaughtMu.Lock()
+	rt.uncaught = append(rt.uncaught, err)
+	rt.uncaughtMu.Unlock()
+}
+
+// workerMain is the scheduler event loop (the paper's Figure 11): fetch a
+// trace from the ready queue, force nodes to execute the thread, perform
+// the requested system calls, and put continuations back on queues.
+func (rt *Runtime) workerMain(id int) {
+	defer rt.wg.Done()
+	for {
+		tcb, ok := rt.ready.pop(id)
+		if !ok {
+			return
+		}
+		rt.switches.Add(1)
+		rt.step(tcb)
+	}
+}
+
+// step interprets up to BatchSteps nodes of tcb's trace. It is the case
+// analysis at the heart of the hybrid model: each arm is one system call.
+// On return the thread has been re-enqueued, parked, or terminated, and
+// the clock hold taken at enqueue has been released or transferred.
+func (rt *Runtime) step(tcb *TCB) {
+	tr := tcb.trace
+	tcb.trace = nil
+	for budget := rt.opts.BatchSteps; budget > 0; budget-- {
+		switch n := tr.(type) {
+		case *NBIONode:
+			tr = rt.runEffect(n.Effect)
+
+		case *ForkNode:
+			child := &TCB{id: rt.nextID.Add(1), trace: n.Child}
+			rt.live.Add(1)
+			rt.spawned.Add(1)
+			rt.enqueue(child)
+			tr = n.Cont
+
+		case *YieldNode:
+			tcb.trace = n.Cont
+			rt.enqueue(tcb)
+			rt.clock.Exit()
+			return
+
+		case *RetNode:
+			rt.threadDone(tcb)
+			rt.clock.Exit()
+			return
+
+		case *ThrowNode:
+			if len(tcb.handlers) == 0 {
+				rt.reportUncaught(tcb, n.Err)
+				rt.threadDone(tcb)
+				rt.clock.Exit()
+				return
+			}
+			h := tcb.handlers[len(tcb.handlers)-1]
+			tcb.handlers = tcb.handlers[:len(tcb.handlers)-1]
+			tr = h(n.Err)
+
+		case *CatchNode:
+			tcb.handlers = append(tcb.handlers, n.Handler)
+			tr = n.Body
+
+		case *PopCatchNode:
+			if len(tcb.handlers) == 0 {
+				panic("core: PopCatchNode with empty handler stack")
+			}
+			tcb.handlers = tcb.handlers[:len(tcb.handlers)-1]
+			tr = n.Cont
+
+		case *SuspendNode:
+			// Park the thread. The resume closure re-enqueues it via
+			// enqueue, which takes a fresh clock hold; our own hold is
+			// released only after Park returns, so even if resume runs
+			// synchronously the busy count never touches zero in between.
+			n.Park(func(next Trace) {
+				tcb.trace = next
+				rt.enqueue(tcb)
+			})
+			rt.clock.Exit()
+			return
+
+		case *BlioNode:
+			if rt.blio == nil {
+				// No pool configured: run inline (test configurations).
+				tr = rt.runEffect(n.Effect)
+				continue
+			}
+			tcb.blioEffect = n.Effect
+			// Our clock hold transfers to the blio queue entry; the pool
+			// worker releases it after re-enqueueing the thread.
+			rt.blio.push(tcb)
+			return
+
+		case nil:
+			panic("core: nil trace node (thread resumed without a continuation?)")
+
+		default:
+			panic(fmt.Sprintf("core: unknown trace node %T", tr))
+		}
+	}
+	// Batch exhausted: requeue behind other ready threads.
+	tcb.trace = tr
+	rt.enqueue(tcb)
+	rt.clock.Exit()
+}
+
+// runEffect performs a nonblocking effect, optionally trapping panics into
+// monadic exceptions.
+func (rt *Runtime) runEffect(effect func() Trace) (tr Trace) {
+	if !rt.opts.TrapPanics {
+		return effect()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			tr = &ThrowNode{Err: &PanicError{Value: v}}
+		}
+	}()
+	return effect()
+}
+
+// workerBlio is one thread of the blocking-I/O pool (§4.6): it repeatedly
+// fetches blocking requests and performs them, so the main event loops
+// never stall.
+func (rt *Runtime) workerBlio() {
+	defer rt.wg.Done()
+	for {
+		tcb, ok := rt.blio.pop(0)
+		if !ok {
+			return
+		}
+		effect := tcb.blioEffect
+		tcb.blioEffect = nil
+		tcb.trace = rt.runEffect(effect)
+		rt.enqueue(tcb) // fresh hold for the re-queued thread
+		rt.clock.Exit() // release the hold transferred with the request
+	}
+}

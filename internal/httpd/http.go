@@ -1,0 +1,183 @@
+// Package httpd implements the paper's case study (§5.2): a static-file
+// web server written in monadic threads over asynchronous I/O with an
+// application-level cache, plus the Apache-stand-in baseline — a
+// thread-per-connection blocking server on the NPTL runtime — used for
+// the Figure 19 comparison.
+//
+// The HTTP surface is a small, self-contained HTTP/1.0-1.1 subset (GET,
+// persistent connections, Content-Length framing): enough to drive the
+// paper's workload, written from scratch so the whole stack remains
+// application-level.
+package httpd
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method  string
+	Path    string
+	Version string
+	Headers map[string]string
+}
+
+// KeepAlive reports whether the connection should persist after the
+// response (HTTP/1.1 default yes; HTTP/1.0 requires the header).
+func (r *Request) KeepAlive() bool {
+	c := strings.ToLower(r.Headers["connection"])
+	switch r.Version {
+	case "HTTP/1.1":
+		return c != "close"
+	default:
+		return c == "keep-alive"
+	}
+}
+
+// ErrMalformedRequest reports an unparsable request head.
+var ErrMalformedRequest = errors.New("httpd: malformed request")
+
+// ParseRequest parses a request head (everything through the blank line,
+// CRLF-delimited).
+func ParseRequest(head string) (*Request, error) {
+	lines := strings.Split(strings.TrimSuffix(head, "\r\n"), "\r\n")
+	if len(lines) == 0 {
+		return nil, ErrMalformedRequest
+	}
+	parts := strings.Split(lines[0], " ")
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformedRequest, lines[0])
+	}
+	req := &Request{
+		Method:  parts[0],
+		Path:    parts[1],
+		Version: parts[2],
+		Headers: make(map[string]string, len(lines)-1),
+	}
+	for _, l := range lines[1:] {
+		if l == "" {
+			continue
+		}
+		i := strings.IndexByte(l, ':')
+		if i < 0 {
+			return nil, fmt.Errorf("%w: header %q", ErrMalformedRequest, l)
+		}
+		req.Headers[strings.ToLower(strings.TrimSpace(l[:i]))] = strings.TrimSpace(l[i+1:])
+	}
+	return req, nil
+}
+
+// HeadBuffer accumulates bytes until a full request head is available.
+// It keeps any bytes past the blank line for the next request on a
+// persistent connection.
+type HeadBuffer struct {
+	buf []byte
+}
+
+// MaxHeadBytes bounds a request head; longer heads are malformed.
+const MaxHeadBytes = 16 * 1024
+
+// Feed appends stream bytes; it returns a complete head (including the
+// terminating blank line) when available, or "" to request more input.
+func (h *HeadBuffer) Feed(p []byte) (head string, err error) {
+	h.buf = append(h.buf, p...)
+	return h.take()
+}
+
+// Pending attempts to extract a head from already-buffered bytes (for
+// pipelined requests).
+func (h *HeadBuffer) Pending() (head string, err error) { return h.take() }
+
+// Buffered reports how many bytes beyond the last extracted head are
+// buffered (the start of a response body, for clients).
+func (h *HeadBuffer) Buffered() int { return len(h.buf) }
+
+// Reset discards buffered bytes.
+func (h *HeadBuffer) Reset() { h.buf = h.buf[:0] }
+
+func (h *HeadBuffer) take() (string, error) {
+	if i := indexCRLFCRLF(h.buf); i >= 0 {
+		head := string(h.buf[:i+4])
+		rest := h.buf[i+4:]
+		h.buf = append(h.buf[:0], rest...)
+		return head, nil
+	}
+	if len(h.buf) > MaxHeadBytes {
+		return "", fmt.Errorf("%w: head exceeds %d bytes", ErrMalformedRequest, MaxHeadBytes)
+	}
+	return "", nil
+}
+
+func indexCRLFCRLF(b []byte) int {
+	for i := 0; i+3 < len(b); i++ {
+		if b[i] == '\r' && b[i+1] == '\n' && b[i+2] == '\r' && b[i+3] == '\n' {
+			return i
+		}
+	}
+	return -1
+}
+
+// statusText is the subset of reason phrases the server emits.
+var statusText = map[int]string{
+	200: "OK",
+	400: "Bad Request",
+	404: "Not Found",
+	405: "Method Not Allowed",
+	500: "Internal Server Error",
+}
+
+// ResponseHead renders a response status line and headers for a body of
+// the given length.
+func ResponseHead(status int, contentLength int64, keepAlive bool) []byte {
+	reason := statusText[status]
+	if reason == "" {
+		reason = "Unknown"
+	}
+	conn := "close"
+	if keepAlive {
+		conn = "keep-alive"
+	}
+	return []byte("HTTP/1.1 " + strconv.Itoa(status) + " " + reason +
+		"\r\nServer: hybrid/1.0" +
+		"\r\nContent-Type: application/octet-stream" +
+		"\r\nContent-Length: " + strconv.FormatInt(contentLength, 10) +
+		"\r\nConnection: " + conn +
+		"\r\n\r\n")
+}
+
+// ParseResponseHead parses a response head and returns the status code
+// and content length (used by the load generator).
+func ParseResponseHead(head string) (status int, contentLength int64, err error) {
+	lines := strings.Split(strings.TrimSuffix(head, "\r\n"), "\r\n")
+	if len(lines) == 0 {
+		return 0, 0, ErrMalformedRequest
+	}
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return 0, 0, fmt.Errorf("%w: status line %q", ErrMalformedRequest, lines[0])
+	}
+	status, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: status %q", ErrMalformedRequest, parts[1])
+	}
+	contentLength = -1
+	for _, l := range lines[1:] {
+		if l == "" {
+			continue
+		}
+		i := strings.IndexByte(l, ':')
+		if i < 0 {
+			continue
+		}
+		if strings.EqualFold(strings.TrimSpace(l[:i]), "Content-Length") {
+			contentLength, err = strconv.ParseInt(strings.TrimSpace(l[i+1:]), 10, 64)
+			if err != nil {
+				return 0, 0, fmt.Errorf("%w: content-length", ErrMalformedRequest)
+			}
+		}
+	}
+	return status, contentLength, nil
+}

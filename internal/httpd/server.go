@@ -1,0 +1,327 @@
+package httpd
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"hybrid/internal/core"
+	"hybrid/internal/hio"
+	"hybrid/internal/kernel"
+	"hybrid/internal/tcp"
+)
+
+// Transport abstracts a byte-stream connection for the monadic server, so
+// the same server code runs over kernel stream sockets or the
+// application-level TCP stack — the paper's "by editing one line of code
+// in the web server, the programmer can choose between the standard
+// socket library and the customized TCP library" (§5.2).
+type Transport interface {
+	// Read yields at least one byte, or 0 at end of stream.
+	Read(p []byte) core.M[int]
+	// Write sends all of p.
+	Write(p []byte) core.M[int]
+	// Close ends the connection.
+	Close() core.M[core.Unit]
+}
+
+// SockTransport is a Transport over a kernel stream socket.
+type SockTransport struct {
+	IO *hio.IO
+	FD kernel.FD
+}
+
+func (s SockTransport) Read(p []byte) core.M[int]  { return s.IO.SockRead(s.FD, p) }
+func (s SockTransport) Write(p []byte) core.M[int] { return s.IO.SockSend(s.FD, p) }
+func (s SockTransport) Close() core.M[core.Unit]   { return s.IO.CloseFD(s.FD) }
+
+// TCPTransport is a Transport over the application-level TCP stack.
+type TCPTransport struct{ Conn *tcp.Conn }
+
+func (t TCPTransport) Read(p []byte) core.M[int]  { return t.Conn.ReadM(p) }
+func (t TCPTransport) Write(p []byte) core.M[int] { return t.Conn.WriteM(p) }
+func (t TCPTransport) Close() core.M[core.Unit]   { return t.Conn.CloseM() }
+
+// ServerConfig tunes the hybrid server.
+type ServerConfig struct {
+	// CacheBytes is the application-level cache size; the paper's server
+	// used a fixed 100 MB.
+	CacheBytes int64
+	// ChunkBytes is the AIO read granularity for uncached files.
+	// Default 16 KB (the benchmark's file size, so one read per file).
+	ChunkBytes int
+	// MaxDiskReaders, when positive, bounds how many handler threads may
+	// be in the disk path at once; the rest park on a semaphore. This is
+	// the paper's future-work item — "implement more advanced scheduling
+	// algorithms, such as resource aware scheduling used in Capriccio"
+	// (§5.2) — in its simplest admission-control form: cached requests
+	// never queue behind a saturated disk. Zero disables the bound.
+	MaxDiskReaders int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 100 * 1024 * 1024
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 16 * 1024
+	}
+	return c
+}
+
+// Server is the hybrid web server: one monadic thread per connection,
+// asynchronous disk I/O, and an application-level cache. Its structure is
+// the paper's 370-line server: an accept loop forking per-client threads
+// whose control flow reads like sequential code, with failures handled by
+// monadic exceptions.
+type Server struct {
+	io    *hio.IO
+	cfg   ServerConfig
+	cache *Cache
+	disk  *core.Semaphore // nil unless MaxDiskReaders > 0
+
+	requests  atomic.Uint64
+	bytesOut  atomic.Uint64
+	errors    atomic.Uint64
+	conns     atomic.Int64
+	diskWaits atomic.Uint64
+}
+
+// NewServer creates a server over the given I/O layer (whose FS holds the
+// document tree).
+func NewServer(io *hio.IO, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{io: io, cfg: cfg, cache: NewCache(cfg.CacheBytes)}
+	if cfg.MaxDiskReaders > 0 {
+		s.disk = core.NewSemaphore(cfg.MaxDiskReaders)
+	}
+	return s
+}
+
+// Cache exposes the server's cache (for benchmarks and tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Requests reports the number of requests served.
+func (s *Server) Requests() uint64 { return s.requests.Load() }
+
+// BytesOut reports response body bytes written.
+func (s *Server) BytesOut() uint64 { return s.bytesOut.Load() }
+
+// Errors reports connections that ended with an I/O exception.
+func (s *Server) Errors() uint64 { return s.errors.Load() }
+
+// ActiveConns reports currently served connections.
+func (s *Server) ActiveConns() int64 { return s.conns.Load() }
+
+// ListenAndServe binds addr on the kernel socket layer and serves
+// forever. Run it in its own monadic thread.
+func (s *Server) ListenAndServe(addr string) core.M[core.Unit] {
+	return core.Bind(s.io.Listen(addr, 1024), func(lfd kernel.FD) core.M[core.Unit] {
+		return s.AcceptLoop(lfd)
+	})
+}
+
+// AcceptLoop accepts connections forever, forking a handler thread per
+// client — the server function of the paper's Figure 4.
+func (s *Server) AcceptLoop(lfd kernel.FD) core.M[core.Unit] {
+	return core.Forever(
+		core.Bind(s.io.SockAccept(lfd), func(conn kernel.FD) core.M[core.Unit] {
+			return core.Fork(s.ServeTransport(SockTransport{IO: s.io, FD: conn}))
+		}),
+	)
+}
+
+// ServeTCP accepts connections from an application-level TCP listener
+// forever — the one-line transport switch.
+func (s *Server) ServeTCP(l *tcp.Listener) core.M[core.Unit] {
+	return core.Forever(
+		core.Bind(l.AcceptM(), func(conn *tcp.Conn) core.M[core.Unit] {
+			return core.Fork(s.ServeTransport(TCPTransport{Conn: conn}))
+		}),
+	)
+}
+
+// ServeTransport handles one connection: parse requests, serve files,
+// repeat while keep-alive, and on any I/O exception close cleanly.
+func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
+	s.conns.Add(1)
+	hb := &HeadBuffer{}
+	buf := make([]byte, 4096)
+
+	var serveOne func() core.M[core.Unit]
+
+	// readHead accumulates input until a full request head is parsed.
+	var readHead func() core.M[*Request]
+	readHead = func() core.M[*Request] {
+		return core.Bind(
+			core.NBIOe(func() (string, error) { return hb.Pending() }),
+			func(head string) core.M[*Request] {
+				if head != "" {
+					return core.NBIOe(func() (*Request, error) { return ParseRequest(head) })
+				}
+				return core.Bind(t.Read(buf), func(n int) core.M[*Request] {
+					if n == 0 {
+						return core.Return[*Request](nil) // clean EOF
+					}
+					return core.Bind(
+						core.NBIOe(func() (string, error) { return hb.Feed(buf[:n]) }),
+						func(head string) core.M[*Request] {
+							if head == "" {
+								return readHead()
+							}
+							return core.NBIOe(func() (*Request, error) { return ParseRequest(head) })
+						},
+					)
+				})
+			},
+		)
+	}
+
+	serveOne = func() core.M[core.Unit] {
+		return core.Bind(readHead(), func(req *Request) core.M[core.Unit] {
+			if req == nil {
+				return core.Then(t.Close(), core.Do(func() { s.conns.Add(-1) }))
+			}
+			return core.Bind(s.respond(t, req), func(keep bool) core.M[core.Unit] {
+				if keep {
+					return serveOne()
+				}
+				return core.Then(t.Close(), core.Do(func() { s.conns.Add(-1) }))
+			})
+		})
+	}
+
+	// Any exception (EPIPE, reset, malformed request) ends the
+	// connection gracefully — the paper's "I/O errors are handled
+	// gracefully using exceptions".
+	return core.Catch(serveOne(), func(err error) core.M[core.Unit] {
+		s.errors.Add(1)
+		s.conns.Add(-1)
+		return core.Catch(
+			core.Then(t.Close(), core.Skip),
+			func(error) core.M[core.Unit] { return core.Skip },
+		)
+	})
+}
+
+// respond serves one request and reports whether to keep the connection.
+func (s *Server) respond(t Transport, req *Request) core.M[bool] {
+	s.requests.Add(1)
+	keep := req.KeepAlive()
+	if req.Method != "GET" && req.Method != "HEAD" {
+		return s.sendError(t, 405, keep)
+	}
+	name := strings.TrimPrefix(req.Path, "/")
+	if name == "" || strings.Contains(name, "..") {
+		return s.sendError(t, 400, keep)
+	}
+
+	// HEAD: metadata only; the blocking open runs on the blio pool.
+	if req.Method == "HEAD" {
+		return core.Bind(
+			core.Catch(
+				core.Map(s.io.FileOpen(name), func(f *kernel.File) int64 { return f.Size() }),
+				func(error) core.M[int64] { return core.Return(int64(-1)) },
+			),
+			func(size int64) core.M[bool] {
+				if size < 0 {
+					return s.sendError(t, 404, keep)
+				}
+				return core.Then(
+					core.Bind(t.Write(ResponseHead(200, size, keep)),
+						func(int) core.M[core.Unit] { return core.Skip }),
+					core.Return(keep),
+				)
+			},
+		)
+	}
+
+	// Cache hit path: purely nonblocking.
+	if data, ok := s.cache.Get(name); ok {
+		return core.Then(
+			core.Bind(t.Write(ResponseHead(200, int64(len(data)), keep)), func(int) core.M[core.Unit] {
+				return core.Bind(t.Write(data), func(n int) core.M[core.Unit] {
+					s.bytesOut.Add(uint64(n))
+					return core.Skip
+				})
+			}),
+			core.Return(keep),
+		)
+	}
+
+	// Miss: open (blocking pool) and stream via AIO, exactly the paper's
+	// send_file (Figure 13) with cleanup handled by Catch in the caller.
+	return core.Bind(
+		core.Catch(
+			core.Map(s.io.FileOpen(name), func(f *kernel.File) *kernel.File { return f }),
+			func(err error) core.M[*kernel.File] {
+				return core.Return[*kernel.File](nil) // 404 below
+			},
+		),
+		func(f *kernel.File) core.M[bool] {
+			if f == nil {
+				return s.sendError(t, 404, keep)
+			}
+			send := s.sendFile(t, f, name)
+			if s.disk != nil {
+				// Resource-aware admission: bound concurrent disk-path
+				// handlers so the disk queue cannot absorb every thread.
+				s.diskWaits.Add(1)
+				send = core.Then(s.disk.Acquire(), core.Finally(send, s.disk.Release()))
+			}
+			return core.Then(send, core.Return(keep))
+		},
+	)
+}
+
+// DiskAdmissions reports how many requests entered the bounded disk path.
+func (s *Server) DiskAdmissions() uint64 { return s.diskWaits.Load() }
+
+// sendFile streams a file: header first, then AIO-read chunks copied to
+// the transport; small files are inserted into the cache afterwards.
+func (s *Server) sendFile(t Transport, f *kernel.File, name string) core.M[core.Unit] {
+	size := f.Size()
+	cacheable := size <= int64(s.cfg.CacheBytes)
+	var assembled []byte
+	if cacheable {
+		assembled = make([]byte, 0, size)
+	}
+	chunk := make([]byte, s.cfg.ChunkBytes)
+
+	var copyData func(off int64) core.M[core.Unit]
+	copyData = func(off int64) core.M[core.Unit] {
+		if off >= size {
+			return core.Do(func() {
+				if cacheable {
+					s.cache.Put(name, assembled)
+				}
+			})
+		}
+		return core.Bind(s.io.AIORead(f, off, chunk), func(n int) core.M[core.Unit] {
+			if n == 0 {
+				return core.Skip
+			}
+			if cacheable {
+				assembled = append(assembled, chunk[:n]...)
+			}
+			return core.Bind(t.Write(chunk[:n]), func(w int) core.M[core.Unit] {
+				s.bytesOut.Add(uint64(w))
+				return copyData(off + int64(n))
+			})
+		})
+	}
+
+	return core.Then(
+		core.Bind(t.Write(ResponseHead(200, size, true)), func(int) core.M[core.Unit] { return core.Skip }),
+		copyData(0),
+	)
+}
+
+func (s *Server) sendError(t Transport, status int, keep bool) core.M[bool] {
+	body := []byte(fmt.Sprintf("%d %s\n", status, statusText[status]))
+	head := ResponseHead(status, int64(len(body)), keep)
+	return core.Then(
+		core.Bind(t.Write(head), func(int) core.M[int] { return t.Write(body) }),
+		core.Return(keep),
+	)
+}

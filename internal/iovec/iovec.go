@@ -1,0 +1,138 @@
+// Package iovec implements I/O vectors: a logical byte string represented
+// as a chain of shared slices, so data can be appended, split, and queued
+// through protocol layers without copying. The paper's application-level
+// TCP stack "is a zero-copy implementation; it uses IO vectors to
+// represent data buffers indirectly" (§5.2) — internal/tcp's send path
+// carries these vectors from the user's write to the wire encoder.
+package iovec
+
+// Vec is an immutable view of a sequence of bytes held in one or more
+// underlying segments. Operations share the segments; the bytes must not
+// be mutated while any Vec referencing them is live.
+type Vec struct {
+	segs   [][]byte
+	length int
+}
+
+// New builds a Vec sharing the given segments (empty ones are dropped).
+func New(segs ...[]byte) Vec {
+	v := Vec{}
+	for _, s := range segs {
+		if len(s) > 0 {
+			v.segs = append(v.segs, s)
+			v.length += len(s)
+		}
+	}
+	return v
+}
+
+// FromBytes wraps one slice without copying.
+func FromBytes(b []byte) Vec { return New(b) }
+
+// Len reports the logical length in bytes.
+func (v Vec) Len() int { return v.length }
+
+// Empty reports whether the vector has no bytes.
+func (v Vec) Empty() bool { return v.length == 0 }
+
+// Append returns a vector with b's bytes (shared, not copied) after v's.
+func (v Vec) Append(b []byte) Vec {
+	if len(b) == 0 {
+		return v
+	}
+	out := Vec{length: v.length + len(b)}
+	out.segs = make([][]byte, 0, len(v.segs)+1)
+	out.segs = append(out.segs, v.segs...)
+	out.segs = append(out.segs, b)
+	return out
+}
+
+// Concat returns the concatenation of v and w, sharing both.
+func (v Vec) Concat(w Vec) Vec {
+	if w.length == 0 {
+		return v
+	}
+	if v.length == 0 {
+		return w
+	}
+	out := Vec{length: v.length + w.length}
+	out.segs = make([][]byte, 0, len(v.segs)+len(w.segs))
+	out.segs = append(out.segs, v.segs...)
+	out.segs = append(out.segs, w.segs...)
+	return out
+}
+
+// Slice returns the byte range [from, to) as a vector sharing the same
+// segments. It panics on an invalid range, like slicing.
+func (v Vec) Slice(from, to int) Vec {
+	if from < 0 || to < from || to > v.length {
+		panic("iovec: slice range out of bounds")
+	}
+	if from == to {
+		return Vec{}
+	}
+	out := Vec{length: to - from}
+	skip := from
+	need := to - from
+	for _, s := range v.segs {
+		if skip >= len(s) {
+			skip -= len(s)
+			continue
+		}
+		take := len(s) - skip
+		if take > need {
+			take = need
+		}
+		out.segs = append(out.segs, s[skip:skip+take])
+		need -= take
+		skip = 0
+		if need == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// Drop returns the vector without its first n bytes.
+func (v Vec) Drop(n int) Vec { return v.Slice(n, v.length) }
+
+// Take returns the vector's first n bytes.
+func (v Vec) Take(n int) Vec { return v.Slice(0, n) }
+
+// CopyTo copies up to len(p) bytes into p, returning the count. This is
+// the single copy at the wire (or user) boundary.
+func (v Vec) CopyTo(p []byte) int {
+	n := 0
+	for _, s := range v.segs {
+		if n >= len(p) {
+			break
+		}
+		n += copy(p[n:], s)
+	}
+	return n
+}
+
+// Bytes materializes the vector into a fresh contiguous slice.
+func (v Vec) Bytes() []byte {
+	out := make([]byte, v.length)
+	v.CopyTo(out)
+	return out
+}
+
+// At returns the byte at index i.
+func (v Vec) At(i int) byte {
+	if i < 0 || i >= v.length {
+		panic("iovec: index out of bounds")
+	}
+	for _, s := range v.segs {
+		if i < len(s) {
+			return s[i]
+		}
+		i -= len(s)
+	}
+	panic("iovec: corrupt vector")
+}
+
+// Segments reports the number of underlying segments (diagnostics: a
+// zero-copy path keeps segment counts proportional to writes, not bytes).
+func (v Vec) Segments() int { return len(v.segs) }

@@ -1,0 +1,131 @@
+package iovec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDropsEmptySegments(t *testing.T) {
+	v := New([]byte("ab"), nil, []byte(""), []byte("cd"))
+	if v.Len() != 4 || v.Segments() != 2 {
+		t.Fatalf("len=%d segs=%d", v.Len(), v.Segments())
+	}
+	if string(v.Bytes()) != "abcd" {
+		t.Fatalf("bytes = %q", v.Bytes())
+	}
+}
+
+func TestAppendSharesNotCopies(t *testing.T) {
+	buf := []byte("hello")
+	v := Vec{}.Append(buf)
+	buf[0] = 'J'
+	if string(v.Bytes()) != "Jello" {
+		t.Fatal("Append copied instead of sharing")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	v := New([]byte("abc"), []byte("defg"), []byte("hi"))
+	cases := []struct {
+		from, to int
+		want     string
+	}{
+		{0, 9, "abcdefghi"},
+		{0, 0, ""},
+		{2, 5, "cde"},
+		{3, 7, "defg"},
+		{8, 9, "i"},
+		{4, 4, ""},
+	}
+	for _, c := range cases {
+		got := string(v.Slice(c.from, c.to).Bytes())
+		if got != c.want {
+			t.Fatalf("Slice(%d,%d) = %q, want %q", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestSlicePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New([]byte("ab")).Slice(0, 3)
+}
+
+func TestDropTake(t *testing.T) {
+	v := New([]byte("abcdef"))
+	if string(v.Drop(2).Bytes()) != "cdef" || string(v.Take(3).Bytes()) != "abc" {
+		t.Fatal("Drop/Take wrong")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := New([]byte("ab"))
+	b := New([]byte("cd"), []byte("ef"))
+	if got := string(a.Concat(b).Bytes()); got != "abcdef" {
+		t.Fatalf("Concat = %q", got)
+	}
+	if got := a.Concat(Vec{}); got.Len() != 2 {
+		t.Fatal("Concat with empty changed length")
+	}
+	if got := (Vec{}).Concat(b); got.Len() != 4 {
+		t.Fatal("empty Concat wrong")
+	}
+}
+
+func TestAt(t *testing.T) {
+	v := New([]byte("ab"), []byte("cd"))
+	for i, want := range []byte("abcd") {
+		if v.At(i) != want {
+			t.Fatalf("At(%d) = %c", i, v.At(i))
+		}
+	}
+}
+
+func TestCopyToShortBuffer(t *testing.T) {
+	v := New([]byte("abcdef"))
+	p := make([]byte, 3)
+	if n := v.CopyTo(p); n != 3 || string(p) != "abc" {
+		t.Fatalf("CopyTo = %d %q", n, p)
+	}
+}
+
+func TestSliceIsZeroCopy(t *testing.T) {
+	base := []byte("0123456789")
+	v := New(base).Slice(2, 8)
+	base[3] = 'X'
+	if string(v.Bytes()) != "2X4567" {
+		t.Fatal("Slice copied instead of sharing")
+	}
+}
+
+// Property: any sequence of appends followed by any valid slice equals
+// the same operations on a flat []byte.
+func TestVecMatchesFlatModel(t *testing.T) {
+	check := func(chunks [][]byte, a, b uint8) bool {
+		v := Vec{}
+		var flat []byte
+		for _, c := range chunks {
+			v = v.Append(c)
+			flat = append(flat, c...)
+		}
+		if v.Len() != len(flat) {
+			return false
+		}
+		if !bytes.Equal(v.Bytes(), flat) {
+			return false
+		}
+		if len(flat) == 0 {
+			return true
+		}
+		from := int(a) % len(flat)
+		to := from + int(b)%(len(flat)-from+1)
+		return bytes.Equal(v.Slice(from, to).Bytes(), flat[from:to])
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package kernel simulates the slice of a Unix kernel that the paper's
+// evaluation exercises: a file-descriptor table, FIFO pipes with bounded
+// buffers and EAGAIN semantics, an epoll-style readiness-notification
+// device, stream sockets with an optional link model, and files backed by
+// the disk model in internal/disk.
+//
+// The real experiments ran against Linux 2.6.15; this package substitutes
+// a deterministic, in-process kernel that preserves the behaviours the
+// paper's mechanisms depend on — nonblocking system calls that return
+// EAGAIN exactly where Linux would, level-triggered readiness events, and
+// idle waiters that cost nothing — while remaining usable from both timing
+// domains (see internal/vclock).
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hybrid/internal/vclock"
+)
+
+// Errno values mirror the Unix errors the paper's wrappers test for.
+var (
+	// ErrAgain is EAGAIN/EWOULDBLOCK: the nonblocking operation cannot
+	// proceed; wait for readiness and retry (paper Figure 10).
+	ErrAgain = errors.New("resource temporarily unavailable (EAGAIN)")
+	// ErrBadFD is EBADF: the descriptor is closed or invalid.
+	ErrBadFD = errors.New("bad file descriptor (EBADF)")
+	// ErrPipe is EPIPE: writing to a pipe or socket whose read side is
+	// closed.
+	ErrPipe = errors.New("broken pipe (EPIPE)")
+	// ErrInvalid is EINVAL: the operation does not apply to this
+	// descriptor (for example writing the read end of a pipe).
+	ErrInvalid = errors.New("invalid argument (EINVAL)")
+	// ErrConnRefused is ECONNREFUSED: no listener at the address.
+	ErrConnRefused = errors.New("connection refused (ECONNREFUSED)")
+	// ErrAddrInUse is EADDRINUSE: the listen address is taken.
+	ErrAddrInUse = errors.New("address already in use (EADDRINUSE)")
+	// ErrClosed reports an operation on a closed kernel object.
+	ErrClosed = errors.New("use of closed descriptor")
+)
+
+// FD is a virtual file descriptor.
+type FD int
+
+// Event is a readiness bitmask, the kernel's EPOLLIN/EPOLLOUT.
+type Event uint8
+
+const (
+	// EventRead indicates the descriptor is readable (data buffered, a
+	// connection pending, EOF, or an error condition).
+	EventRead Event = 1 << iota
+	// EventWrite indicates the descriptor is writable (buffer space
+	// available or an error condition).
+	EventWrite
+	// EventHup indicates the peer closed; delivered with either mask.
+	EventHup
+)
+
+func (e Event) String() string {
+	s := ""
+	if e&EventRead != 0 {
+		s += "R"
+	}
+	if e&EventWrite != 0 {
+		s += "W"
+	}
+	if e&EventHup != 0 {
+		s += "H"
+	}
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// endpoint is any kernel object an FD can refer to.
+type endpoint interface {
+	// read and write are the nonblocking data-plane operations; objects
+	// that do not support one return ErrInvalid.
+	read(p []byte) (int, error)
+	write(p []byte) (int, error)
+	// closeEnd tears down this FD's view of the object.
+	closeEnd() error
+	// readiness reports the current level-triggered readiness.
+	readiness() Event
+	// addWatch registers a one-shot readiness watch. If the watch's mask
+	// is already satisfied the object must fire it immediately.
+	addWatch(w *watch)
+}
+
+// Kernel is a simulated OS kernel instance. Independent benchmarks create
+// independent kernels.
+type Kernel struct {
+	clock vclock.Clock
+
+	mu   sync.Mutex
+	fds  map[FD]endpoint
+	next FD
+
+	listeners map[string]*Listener
+
+	// stats counts system calls for the evaluation harness.
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Stats are monotonically increasing counters of kernel activity.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	BytesRead  uint64
+	BytesWrote uint64
+	EAGAINs    uint64
+	EpollWaits uint64
+	Wakeups    uint64
+}
+
+// New creates a kernel in the given timing domain.
+func New(clock vclock.Clock) *Kernel {
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
+	return &Kernel{
+		clock:     clock,
+		fds:       make(map[FD]endpoint),
+		next:      3, // 0,1,2 reserved, as tradition demands
+		listeners: make(map[string]*Listener),
+	}
+}
+
+// Clock reports the kernel's timing domain.
+func (k *Kernel) Clock() vclock.Clock { return k.clock }
+
+// Snapshot returns a copy of the kernel's counters.
+func (k *Kernel) Snapshot() Stats {
+	k.statsMu.Lock()
+	defer k.statsMu.Unlock()
+	return k.stats
+}
+
+func (k *Kernel) install(e endpoint) FD {
+	k.mu.Lock()
+	fd := k.next
+	k.next++
+	k.fds[fd] = e
+	k.mu.Unlock()
+	return fd
+}
+
+func (k *Kernel) lookup(fd FD) (endpoint, error) {
+	k.mu.Lock()
+	e, ok := k.fds[fd]
+	k.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fd %d: %w", fd, ErrBadFD)
+	}
+	return e, nil
+}
+
+// Read performs a nonblocking read on fd. It returns ErrAgain when no
+// data is available, and (0, nil) at end of stream.
+func (k *Kernel) Read(fd FD, p []byte) (int, error) {
+	e, err := k.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	n, err := e.read(p)
+	k.statsMu.Lock()
+	k.stats.Reads++
+	k.stats.BytesRead += uint64(n)
+	if errors.Is(err, ErrAgain) {
+		k.stats.EAGAINs++
+	}
+	k.statsMu.Unlock()
+	return n, err
+}
+
+// Write performs a nonblocking write on fd. It may write fewer bytes than
+// requested; it returns ErrAgain when no buffer space is available.
+func (k *Kernel) Write(fd FD, p []byte) (int, error) {
+	e, err := k.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	n, err := e.write(p)
+	k.statsMu.Lock()
+	k.stats.Writes++
+	k.stats.BytesWrote += uint64(n)
+	if errors.Is(err, ErrAgain) {
+		k.stats.EAGAINs++
+	}
+	k.statsMu.Unlock()
+	return n, err
+}
+
+// Close releases fd. Further operations on it return ErrBadFD.
+func (k *Kernel) Close(fd FD) error {
+	k.mu.Lock()
+	e, ok := k.fds[fd]
+	if ok {
+		delete(k.fds, fd)
+	}
+	k.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fd %d: %w", fd, ErrBadFD)
+	}
+	return e.closeEnd()
+}
+
+// Readiness reports the current readiness of fd (diagnostics and tests).
+func (k *Kernel) Readiness(fd FD) (Event, error) {
+	e, err := k.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	return e.readiness(), nil
+}
+
+// OpenFDs reports the number of live descriptors.
+func (k *Kernel) OpenFDs() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.fds)
+}

@@ -1,0 +1,201 @@
+package kernel
+
+import "sync"
+
+// DefaultPipeBuffer is the FIFO pipe capacity used throughout the
+// evaluation; the paper's pipes buffer 4 KB.
+const DefaultPipeBuffer = 4096
+
+// pipe is a unidirectional FIFO byte stream with a bounded ring buffer,
+// the kernel object behind both FIFO pipes and each direction of a stream
+// socket.
+type pipe struct {
+	mu          sync.Mutex
+	buf         []byte
+	head, count int
+	readClosed  bool
+	writeClosed bool
+	readers     waitList // watches on the read end
+	writers     waitList // watches on the write end
+}
+
+func newPipe(size int) *pipe {
+	if size <= 0 {
+		size = DefaultPipeBuffer
+	}
+	return &pipe{buf: make([]byte, size)}
+}
+
+// readReadiness computes the read end's level-triggered readiness. Called
+// with p.mu held.
+func (p *pipe) readReadiness() Event {
+	var ev Event
+	if p.count > 0 || p.writeClosed {
+		ev |= EventRead
+	}
+	if p.writeClosed {
+		ev |= EventHup
+	}
+	return ev
+}
+
+// writeReadiness computes the write end's readiness. Called with p.mu held.
+func (p *pipe) writeReadiness() Event {
+	var ev Event
+	if p.count < len(p.buf) || p.readClosed {
+		ev |= EventWrite
+	}
+	if p.readClosed {
+		ev |= EventHup
+	}
+	return ev
+}
+
+// readData copies up to len(b) buffered bytes out, returning EAGAIN when
+// the pipe is empty and not EOF.
+func (p *pipe) readData(b []byte) (int, error) {
+	p.mu.Lock()
+	if p.readClosed {
+		p.mu.Unlock()
+		return 0, ErrBadFD
+	}
+	if p.count == 0 {
+		if p.writeClosed {
+			p.mu.Unlock()
+			return 0, nil // EOF
+		}
+		p.mu.Unlock()
+		return 0, ErrAgain
+	}
+	n := len(b)
+	if n > p.count {
+		n = p.count
+	}
+	for i := 0; i < n; i++ {
+		b[i] = p.buf[(p.head+i)%len(p.buf)]
+	}
+	p.head = (p.head + n) % len(p.buf)
+	p.count -= n
+	// Space became available: wake write-side waiters.
+	fired := p.writers.collect(p.writeReadiness())
+	p.mu.Unlock()
+	fireAll(fired, EventWrite)
+	return n, nil
+}
+
+// writeData copies up to len(b) bytes in, returning a short count when
+// the buffer fills and EAGAIN when it was already full.
+func (p *pipe) writeData(b []byte) (int, error) {
+	p.mu.Lock()
+	if p.writeClosed {
+		p.mu.Unlock()
+		return 0, ErrBadFD
+	}
+	if p.readClosed {
+		p.mu.Unlock()
+		return 0, ErrPipe
+	}
+	space := len(p.buf) - p.count
+	if space == 0 {
+		p.mu.Unlock()
+		return 0, ErrAgain
+	}
+	n := len(b)
+	if n > space {
+		n = space
+	}
+	tail := (p.head + p.count) % len(p.buf)
+	for i := 0; i < n; i++ {
+		p.buf[(tail+i)%len(p.buf)] = b[i]
+	}
+	p.count += n
+	fired := p.readers.collect(p.readReadiness())
+	p.mu.Unlock()
+	fireAll(fired, EventRead)
+	return n, nil
+}
+
+func (p *pipe) closeRead() error {
+	p.mu.Lock()
+	if p.readClosed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.readClosed = true
+	// Writers see EPIPE from now on; wake them with HUP.
+	fired := p.writers.collect(EventWrite | EventHup)
+	p.mu.Unlock()
+	fireAll(fired, EventWrite|EventHup)
+	return nil
+}
+
+func (p *pipe) closeWrite() error {
+	p.mu.Lock()
+	if p.writeClosed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.writeClosed = true
+	// Readers now see EOF once drained; that counts as readable.
+	fired := p.readers.collect(EventRead | EventHup)
+	p.mu.Unlock()
+	fireAll(fired, EventRead|EventHup)
+	return nil
+}
+
+// pipeReadEnd and pipeWriteEnd adapt one pipe to the two descriptors.
+
+type pipeReadEnd struct{ p *pipe }
+
+func (e *pipeReadEnd) read(b []byte) (int, error) { return e.p.readData(b) }
+func (e *pipeReadEnd) write([]byte) (int, error)  { return 0, ErrInvalid }
+func (e *pipeReadEnd) closeEnd() error            { return e.p.closeRead() }
+func (e *pipeReadEnd) readiness() Event {
+	e.p.mu.Lock()
+	defer e.p.mu.Unlock()
+	return e.p.readReadiness()
+}
+func (e *pipeReadEnd) addWatch(w *watch) {
+	e.p.mu.Lock()
+	ev := e.p.readReadiness() & w.mask
+	if ev != 0 {
+		e.p.mu.Unlock()
+		if w.claim() {
+			w.fire(ev)
+		}
+		return
+	}
+	e.p.readers.add(w)
+	e.p.mu.Unlock()
+}
+
+type pipeWriteEnd struct{ p *pipe }
+
+func (e *pipeWriteEnd) read([]byte) (int, error)    { return 0, ErrInvalid }
+func (e *pipeWriteEnd) write(b []byte) (int, error) { return e.p.writeData(b) }
+func (e *pipeWriteEnd) closeEnd() error             { return e.p.closeWrite() }
+func (e *pipeWriteEnd) readiness() Event {
+	e.p.mu.Lock()
+	defer e.p.mu.Unlock()
+	return e.p.writeReadiness()
+}
+func (e *pipeWriteEnd) addWatch(w *watch) {
+	e.p.mu.Lock()
+	ev := e.p.writeReadiness() & w.mask
+	if ev != 0 {
+		e.p.mu.Unlock()
+		if w.claim() {
+			w.fire(ev)
+		}
+		return
+	}
+	e.p.writers.add(w)
+	e.p.mu.Unlock()
+}
+
+// NewPipe creates a FIFO pipe with the given buffer size (0 means
+// DefaultPipeBuffer) and returns its read and write descriptors.
+func (k *Kernel) NewPipe(bufSize int) (r FD, w FD) {
+	p := newPipe(bufSize)
+	return k.install(&pipeReadEnd{p: p}), k.install(&pipeWriteEnd{p: p})
+}

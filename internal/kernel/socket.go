@@ -1,0 +1,226 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stream sockets: a connected socket is a pair of pipes cross-connected
+// between the two endpoints; a listener holds a backlog of accepted-but-
+// unclaimed connections. Connection setup is instantaneous — the kernel
+// socket layer models the loopback path of the paper's testbed, while the
+// timed network path goes through internal/netsim and the application-
+// level TCP stack (§4.8).
+
+// DefaultSocketBuffer is the per-direction socket buffer size.
+const DefaultSocketBuffer = 65536
+
+// socketEnd is one endpoint of a connected stream socket.
+type socketEnd struct {
+	rx *pipe // data flowing toward this endpoint
+	tx *pipe // data flowing away from this endpoint
+}
+
+func (s *socketEnd) read(b []byte) (int, error)  { return s.rx.readData(b) }
+func (s *socketEnd) write(b []byte) (int, error) { return s.tx.writeData(b) }
+
+func (s *socketEnd) closeEnd() error {
+	// Closing a socket tears down both directions from this side: our
+	// receive path stops accepting data and our transmit path signals EOF.
+	errR := s.rx.closeRead()
+	errW := s.tx.closeWrite()
+	if errR != nil {
+		return errR
+	}
+	return errW
+}
+
+func (s *socketEnd) readiness() Event {
+	s.rx.mu.Lock()
+	ev := s.rx.readReadiness()
+	s.rx.mu.Unlock()
+	s.tx.mu.Lock()
+	ev |= s.tx.writeReadiness()
+	s.tx.mu.Unlock()
+	return ev
+}
+
+func (s *socketEnd) addWatch(w *watch) {
+	// Fast path: already ready for some requested event.
+	if ev := s.readiness() & w.mask; ev != 0 {
+		if w.claim() {
+			w.fire(ev)
+		}
+		return
+	}
+	// Park on the lists matching the mask. A watch on both directions is
+	// parked twice; claim() guarantees it fires at most once and the
+	// stale copy is dropped at the next collect.
+	if w.mask&(EventRead|EventHup) != 0 {
+		s.rx.mu.Lock()
+		s.rx.readers.add(w)
+		ready := s.rx.readReadiness() & w.mask
+		s.rx.mu.Unlock()
+		if ready != 0 {
+			// Raced with a writer between the fast path and parking.
+			if w.claim() {
+				w.fire(ready)
+			}
+			return
+		}
+	}
+	if w.mask&EventWrite != 0 {
+		s.tx.mu.Lock()
+		s.tx.writers.add(w)
+		ready := s.tx.writeReadiness() & w.mask
+		s.tx.mu.Unlock()
+		if ready != 0 {
+			if w.claim() {
+				w.fire(ready)
+			}
+		}
+	}
+}
+
+// Listener accepts stream connections at a named address.
+type Listener struct {
+	k       *Kernel
+	addr    string
+	mu      sync.Mutex
+	backlog []*socketEnd
+	max     int
+	closed  bool
+	waiters waitList
+}
+
+func (l *Listener) read([]byte) (int, error)  { return 0, ErrInvalid }
+func (l *Listener) write([]byte) (int, error) { return 0, ErrInvalid }
+
+func (l *Listener) closeEnd() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.closed = true
+	fired := l.waiters.collect(EventRead | EventHup)
+	l.mu.Unlock()
+	l.k.mu.Lock()
+	delete(l.k.listeners, l.addr)
+	l.k.mu.Unlock()
+	fireAll(fired, EventRead|EventHup)
+	return nil
+}
+
+func (l *Listener) readiness() Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readinessLocked()
+}
+
+func (l *Listener) addWatch(w *watch) {
+	l.mu.Lock()
+	if ev := l.readinessLocked() & w.mask; ev != 0 {
+		l.mu.Unlock()
+		if w.claim() {
+			w.fire(ev)
+		}
+		return
+	}
+	l.waiters.add(w)
+	l.mu.Unlock()
+}
+
+func (l *Listener) readinessLocked() Event {
+	var ev Event
+	if len(l.backlog) > 0 || l.closed {
+		ev |= EventRead
+	}
+	if l.closed {
+		ev |= EventHup
+	}
+	return ev
+}
+
+// Listen binds a listener to addr with the given backlog capacity and
+// returns its descriptor (watchable for EventRead = connection pending).
+func (k *Kernel) Listen(addr string, backlog int) (FD, error) {
+	if backlog <= 0 {
+		backlog = 128
+	}
+	k.mu.Lock()
+	if _, taken := k.listeners[addr]; taken {
+		k.mu.Unlock()
+		return 0, fmt.Errorf("listen %s: %w", addr, ErrAddrInUse)
+	}
+	l := &Listener{k: k, addr: addr, max: backlog}
+	k.listeners[addr] = l
+	fd := k.next
+	k.next++
+	k.fds[fd] = l
+	k.mu.Unlock()
+	return fd, nil
+}
+
+// Accept takes a pending connection off listenFD's backlog, returning
+// ErrAgain when none is pending (wrap with epoll exactly like the paper's
+// sock_accept in Figure 10).
+func (k *Kernel) Accept(listenFD FD) (FD, error) {
+	e, err := k.lookup(listenFD)
+	if err != nil {
+		return 0, err
+	}
+	l, ok := e.(*Listener)
+	if !ok {
+		return 0, ErrInvalid
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if len(l.backlog) == 0 {
+		l.mu.Unlock()
+		return 0, ErrAgain
+	}
+	conn := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	l.mu.Unlock()
+	return k.install(conn), nil
+}
+
+// Connect establishes a stream connection to addr, returning the client
+// descriptor. Setup is instantaneous; a full backlog or missing listener
+// refuses the connection.
+func (k *Kernel) Connect(addr string) (FD, error) {
+	k.mu.Lock()
+	l := k.listeners[addr]
+	k.mu.Unlock()
+	if l == nil {
+		return 0, fmt.Errorf("connect %s: %w", addr, ErrConnRefused)
+	}
+	c2s := newPipe(DefaultSocketBuffer)
+	s2c := newPipe(DefaultSocketBuffer)
+	client := &socketEnd{rx: s2c, tx: c2s}
+	server := &socketEnd{rx: c2s, tx: s2c}
+	l.mu.Lock()
+	if l.closed || len(l.backlog) >= l.max {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("connect %s: %w", addr, ErrConnRefused)
+	}
+	l.backlog = append(l.backlog, server)
+	fired := l.waiters.collect(EventRead)
+	l.mu.Unlock()
+	fireAll(fired, EventRead)
+	return k.install(client), nil
+}
+
+// SocketPair creates a connected pair of stream sockets directly, without
+// a listener (useful in tests and examples).
+func (k *Kernel) SocketPair() (FD, FD) {
+	ab := newPipe(DefaultSocketBuffer)
+	ba := newPipe(DefaultSocketBuffer)
+	a := &socketEnd{rx: ba, tx: ab}
+	b := &socketEnd{rx: ab, tx: ba}
+	return k.install(a), k.install(b)
+}

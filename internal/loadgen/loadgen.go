@@ -1,0 +1,192 @@
+// Package loadgen is the paper's client workload (§5.2): a multithreaded
+// load generator in which each client thread repeatedly requests a file
+// chosen at random from a large fileset over a persistent connection.
+// Clients run as monadic threads, so tens of thousands of them are cheap.
+package loadgen
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"hybrid/internal/core"
+	"hybrid/internal/hio"
+	"hybrid/internal/httpd"
+	"hybrid/internal/kernel"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Addr is the server's kernel-socket address.
+	Addr string
+	// Clients is the number of concurrent client threads.
+	Clients int
+	// Files is the fileset size; requests draw uniformly from
+	// file-0 … file-(Files-1).
+	Files int
+	// RequestsPerClient bounds each client's work.
+	RequestsPerClient int
+	// Seed makes request sequences deterministic.
+	Seed uint64
+	// RTT is charged (via the clock) per request, modelling the
+	// client-server network round trip the kernel socket layer does not
+	// simulate. Zero disables.
+	RTT time.Duration
+	// Bandwidth, if nonzero, charges ResponseBytes/Bandwidth per
+	// response, modelling the paper's 100 Mbps link.
+	Bandwidth int64
+}
+
+// Generator drives the workload and accumulates counters.
+type Generator struct {
+	io  *hio.IO
+	cfg Config
+
+	Requests atomic.Uint64
+	Bytes    atomic.Uint64
+	Errors   atomic.Uint64
+	Statuses [6]atomic.Uint64 // index status/100
+}
+
+// New creates a generator over the client-side I/O layer.
+func New(io *hio.IO, cfg Config) *Generator {
+	return &Generator{io: io, cfg: cfg}
+}
+
+// MakeFileset creates n pattern-backed files of the given size named
+// file-0 … file-(n-1) on fs (the paper's 128K × 16 KB fileset).
+func MakeFileset(fs *kernel.FS, n int, size int64) error {
+	for i := 0; i < n; i++ {
+		if _, err := fs.Create(FileName(i), size, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FileName is the canonical fileset naming scheme.
+func FileName(i int) string { return fmt.Sprintf("file-%d", i) }
+
+// Run launches the client threads and returns when every client has
+// issued its full request budget.
+func (g *Generator) Run() core.M[core.Unit] {
+	wg := core.NewWaitGroup(g.cfg.Clients)
+	return core.Then(
+		core.ForN(g.cfg.Clients, func(i int) core.M[core.Unit] {
+			return core.Fork(core.Finally(g.client(i), wg.Done()))
+		}),
+		wg.Wait(),
+	)
+}
+
+// client is one client thread: a persistent connection issuing
+// RequestsPerClient GETs for randomly chosen files.
+func (g *Generator) client(id int) core.M[core.Unit] {
+	rng := g.cfg.Seed ^ (uint64(id)+1)*0x9E3779B97F4A7C15
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	body := func(conn kernel.FD) core.M[core.Unit] {
+		return core.ForN(g.cfg.RequestsPerClient, func(int) core.M[core.Unit] {
+			name := FileName(int(next() % uint64(g.cfg.Files)))
+			return g.oneRequest(conn, name)
+		})
+	}
+	return core.Catch(
+		core.Bind(g.io.SockConnect(g.cfg.Addr), func(conn kernel.FD) core.M[core.Unit] {
+			return core.Finally(body(conn), g.io.CloseFD(conn))
+		}),
+		func(err error) core.M[core.Unit] {
+			g.Errors.Add(1)
+			return core.Skip
+		},
+	)
+}
+
+// oneRequest issues one GET and consumes the full response.
+func (g *Generator) oneRequest(conn kernel.FD, name string) core.M[core.Unit] {
+	req := []byte("GET /" + name + " HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\n\r\n")
+	hb := &httpd.HeadBuffer{}
+	buf := make([]byte, 8192)
+
+	// Read the response head.
+	var readHead func() core.M[string]
+	readHead = func() core.M[string] {
+		return core.Bind(g.io.SockRead(conn, buf), func(n int) core.M[string] {
+			if n == 0 {
+				return core.Throw[string](fmt.Errorf("loadgen: connection closed mid-response"))
+			}
+			return core.Bind(
+				core.NBIOe(func() (string, error) { return hb.Feed(buf[:n]) }),
+				func(head string) core.M[string] {
+					if head == "" {
+						return readHead()
+					}
+					return core.Return(head)
+				},
+			)
+		})
+	}
+
+	// Drain the body: bytes already in the head buffer count first.
+	var drain func(remaining int64) core.M[core.Unit]
+	drain = func(remaining int64) core.M[core.Unit] {
+		if remaining <= 0 {
+			return core.Skip
+		}
+		want := int64(len(buf))
+		if want > remaining {
+			want = remaining
+		}
+		return core.Bind(g.io.SockRead(conn, buf[:want]), func(n int) core.M[core.Unit] {
+			if n == 0 {
+				return core.Throw[core.Unit](fmt.Errorf("loadgen: truncated body"))
+			}
+			return drain(remaining - int64(n))
+		})
+	}
+
+	sendReq := core.Bind(g.io.SockSend(conn, req), func(int) core.M[core.Unit] { return core.Skip })
+	return core.Bind(core.Then(sendReq, readHead()), func(head string) core.M[core.Unit] {
+		return core.Bind(
+			core.NBIOe(func() (int64, error) {
+				status, length, err := httpd.ParseResponseHead(head)
+				if err != nil {
+					return 0, err
+				}
+				if status >= 100 && status < 600 {
+					g.Statuses[status/100].Add(1)
+				}
+				return length, nil
+			}),
+			func(length int64) core.M[core.Unit] {
+				// Part of the body may already be buffered past the head.
+				buffered := int64(hb.Buffered())
+				hb.Reset()
+				toRead := length - buffered
+				return core.Then(
+					drain(toRead),
+					core.Then(g.netDelay(length), core.Do(func() {
+						g.Requests.Add(1)
+						g.Bytes.Add(uint64(length))
+					})),
+				)
+			},
+		)
+	})
+}
+
+// netDelay charges the modelled network time for a response.
+func (g *Generator) netDelay(respBytes int64) core.M[core.Unit] {
+	d := g.cfg.RTT
+	if g.cfg.Bandwidth > 0 {
+		d += time.Duration(respBytes * int64(time.Second) / g.cfg.Bandwidth)
+	}
+	if d <= 0 {
+		return core.Skip
+	}
+	return g.io.Sleep(d)
+}

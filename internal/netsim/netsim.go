@@ -1,0 +1,210 @@
+// Package netsim simulates a packet network: named hosts exchanging opaque
+// datagrams over links with bandwidth, propagation latency, loss,
+// duplication, and reordering. It is the substrate under the application-
+// level TCP stack (paper §4.8) and stands in for the 100 Mbps Ethernet of
+// the paper's testbed.
+//
+// All timing is charged on a vclock.Clock, so simulations are
+// deterministic given a seed: egress links serialize packets at their
+// bandwidth, and arrivals are delivered as clock events to the receiving
+// host's handler — the packet-input events that the paper's
+// worker_tcp_input loop consumes.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hybrid/internal/vclock"
+)
+
+// LinkParams shape a host's egress link.
+type LinkParams struct {
+	// Bandwidth in bytes per second; 0 means infinitely fast.
+	Bandwidth int64
+	// Latency is one-way propagation delay.
+	Latency time.Duration
+	// LossProb is the probability a packet is dropped in flight.
+	LossProb float64
+	// DupProb is the probability a packet is delivered twice.
+	DupProb float64
+	// ReorderProb is the probability a packet receives extra random
+	// delay (up to 4x latency), arriving out of order.
+	ReorderProb float64
+	// QueueLimit bounds the egress queue in bytes; packets beyond it are
+	// tail-dropped. 0 means 256 KB.
+	QueueLimit int
+}
+
+func (p LinkParams) withDefaults() LinkParams {
+	if p.QueueLimit == 0 {
+		p.QueueLimit = 256 * 1024
+	}
+	return p
+}
+
+// Ethernet100 models the paper's test network: 100 Mbps, 100 µs one-way.
+func Ethernet100() LinkParams {
+	return LinkParams{Bandwidth: 100_000_000 / 8, Latency: 100 * time.Microsecond}
+}
+
+// Handler receives a datagram delivered to a host.
+type Handler func(src string, payload []byte)
+
+// Network is a set of hosts sharing a clock and a seeded RNG.
+type Network struct {
+	clock vclock.Clock
+	mu    sync.Mutex
+	hosts map[string]*Host
+	rng   *rand.Rand
+
+	// Stats
+	sent, delivered, dropped, duplicated uint64
+	bytesSent                            uint64
+}
+
+// New creates a network on the given clock with a deterministic RNG seed.
+func New(clock vclock.Clock, seed int64) *Network {
+	return &Network{
+		clock: clock,
+		hosts: make(map[string]*Host),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Clock reports the network's timing domain.
+func (n *Network) Clock() vclock.Clock { return n.clock }
+
+// Stats reports packet counters: sent, delivered, dropped, duplicated.
+func (n *Network) Stats() (sent, delivered, dropped, duplicated uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.delivered, n.dropped, n.duplicated
+}
+
+// Host attaches a new host with the given egress link parameters.
+func (n *Network) Host(addr string, link LinkParams) (*Host, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.hosts[addr]; dup {
+		return nil, fmt.Errorf("netsim: host %q already exists", addr)
+	}
+	h := &Host{net: n, addr: addr, link: link.withDefaults()}
+	n.hosts[addr] = h
+	return h, nil
+}
+
+// Host is one attached endpoint.
+type Host struct {
+	net  *Network
+	addr string
+	link LinkParams
+
+	mu       sync.Mutex
+	handler  Handler
+	nextFree vclock.Time // when the egress link finishes its current packet
+	queued   int         // bytes committed to the egress queue
+}
+
+// Addr reports the host's address.
+func (h *Host) Addr() string { return h.addr }
+
+// Clock reports the timing domain of the host's network.
+func (h *Host) Clock() vclock.Clock { return h.net.clock }
+
+// SetHandler installs the datagram receiver. Handlers run on the clock's
+// event context (they hold the clock busy while running).
+func (h *Host) SetHandler(fn Handler) {
+	h.mu.Lock()
+	h.handler = fn
+	h.mu.Unlock()
+}
+
+// Send transmits a datagram to dst. The payload is copied, so the caller
+// may reuse the buffer. Loss and overflow are silent, as on a real wire.
+func (h *Host) Send(dst string, payload []byte) {
+	n := h.net
+	n.mu.Lock()
+	peer := n.hosts[dst]
+	n.sent++
+	n.bytesSent += uint64(len(payload))
+	if peer == nil {
+		n.dropped++
+		n.mu.Unlock()
+		return
+	}
+	loss := n.rng.Float64() < h.link.LossProb
+	dup := n.rng.Float64() < h.link.DupProb
+	reorder := n.rng.Float64() < h.link.ReorderProb
+	var jitter time.Duration
+	if reorder {
+		jitter = time.Duration(n.rng.Int63n(int64(4*h.link.Latency) + 1))
+	}
+	n.mu.Unlock()
+
+	h.mu.Lock()
+	if h.queued+len(payload) > h.link.QueueLimit {
+		h.mu.Unlock()
+		n.mu.Lock()
+		n.dropped++
+		n.mu.Unlock()
+		return
+	}
+	now := h.net.clock.Now()
+	start := h.nextFree
+	if start < now {
+		start = now
+	}
+	var txTime time.Duration
+	if h.link.Bandwidth > 0 {
+		txTime = time.Duration(int64(len(payload)) * int64(time.Second) / h.link.Bandwidth)
+	}
+	h.nextFree = start + vclock.Time(txTime)
+	h.queued += len(payload)
+	depart := h.nextFree
+	h.mu.Unlock()
+
+	data := make([]byte, len(payload))
+	copy(data, payload)
+
+	// The packet leaves the queue at depart; it arrives Latency (+jitter)
+	// later, unless lost.
+	h.net.clock.After(time.Duration(depart-now), func() {
+		h.mu.Lock()
+		h.queued -= len(data)
+		h.mu.Unlock()
+		if loss {
+			n.mu.Lock()
+			n.dropped++
+			n.mu.Unlock()
+			return
+		}
+		deliver := func() {
+			h.net.clock.After(h.link.Latency+jitter, func() {
+				peer.deliver(h.addr, data)
+			})
+		}
+		deliver()
+		if dup {
+			n.mu.Lock()
+			n.duplicated++
+			n.mu.Unlock()
+			deliver()
+		}
+	})
+}
+
+func (h *Host) deliver(src string, data []byte) {
+	h.mu.Lock()
+	fn := h.handler
+	h.mu.Unlock()
+	n := h.net
+	n.mu.Lock()
+	n.delivered++
+	n.mu.Unlock()
+	if fn != nil {
+		fn(src, data)
+	}
+}

@@ -1,0 +1,159 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"hybrid/internal/vclock"
+)
+
+func pair(t *testing.T, link LinkParams) (*Network, *Host, *Host, *vclock.VirtualClock) {
+	t.Helper()
+	clk := vclock.NewVirtual()
+	n := New(clk, 1)
+	a, err := n.Host("a", link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Host("b", link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, a, b, clk
+}
+
+func TestDeliverBasic(t *testing.T) {
+	_, a, b, clk := pair(t, LinkParams{Latency: time.Millisecond})
+	var got []byte
+	var src string
+	var at vclock.Time
+	b.SetHandler(func(s string, p []byte) { src, got, at = s, p, clk.Now() })
+	clk.Enter()
+	a.Send("b", []byte("hi"))
+	clk.Exit()
+	if string(got) != "hi" || src != "a" {
+		t.Fatalf("got %q from %q", got, src)
+	}
+	if at != vclock.Time(time.Millisecond) {
+		t.Fatalf("arrived at %v, want 1ms", at)
+	}
+}
+
+func TestBandwidthSerializes(t *testing.T) {
+	// Two 1000-byte packets at 1 MB/s: second arrives 1 ms after first.
+	_, a, b, clk := pair(t, LinkParams{Bandwidth: 1_000_000, Latency: 0})
+	var times []vclock.Time
+	b.SetHandler(func(string, []byte) { times = append(times, clk.Now()) })
+	clk.Enter()
+	a.Send("b", make([]byte, 1000))
+	a.Send("b", make([]byte, 1000))
+	clk.Exit()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	gap := time.Duration(times[1] - times[0])
+	if gap != time.Millisecond {
+		t.Fatalf("serialization gap = %v, want 1ms", gap)
+	}
+}
+
+func TestLossDropsRoughlyProportionally(t *testing.T) {
+	_, a, b, clk := pair(t, LinkParams{LossProb: 0.5})
+	got := 0
+	b.SetHandler(func(string, []byte) { got++ })
+	clk.Enter()
+	const sent = 2000
+	for i := 0; i < sent; i++ {
+		a.Send("b", []byte{1})
+	}
+	clk.Exit()
+	if got < sent/3 || got > 2*sent/3 {
+		t.Fatalf("delivered %d of %d at 50%% loss", got, sent)
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	_, a, b, clk := pair(t, LinkParams{DupProb: 1.0})
+	got := 0
+	b.SetHandler(func(string, []byte) { got++ })
+	clk.Enter()
+	a.Send("b", []byte{1})
+	clk.Exit()
+	if got != 2 {
+		t.Fatalf("delivered %d copies, want 2", got)
+	}
+}
+
+func TestUnknownHostDropped(t *testing.T) {
+	n, a, _, clk := pair(t, LinkParams{})
+	clk.Enter()
+	a.Send("nowhere", []byte{1})
+	clk.Exit()
+	if _, _, dropped, _ := n.Stats(); dropped != 1 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+}
+
+func TestQueueOverflowTailDrop(t *testing.T) {
+	_, a, b, clk := pair(t, LinkParams{Bandwidth: 1000, QueueLimit: 1500})
+	got := 0
+	b.SetHandler(func(string, []byte) { got++ })
+	clk.Enter()
+	for i := 0; i < 10; i++ {
+		a.Send("b", make([]byte, 1000)) // only the first fits alongside another
+	}
+	clk.Exit()
+	if got >= 10 {
+		t.Fatalf("no tail drop: %d delivered", got)
+	}
+	if got == 0 {
+		t.Fatal("everything dropped")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	runOnce := func() (int, vclock.Time) {
+		clk := vclock.NewVirtual()
+		n := New(clk, 99)
+		a, _ := n.Host("a", LinkParams{LossProb: 0.3, Latency: time.Millisecond})
+		b, _ := n.Host("b", LinkParams{})
+		got := 0
+		b.SetHandler(func(string, []byte) { got++ })
+		clk.Enter()
+		for i := 0; i < 500; i++ {
+			a.Send("b", []byte{byte(i)})
+		}
+		clk.Exit()
+		return got, clk.Now()
+	}
+	g1, t1 := runOnce()
+	g2, t2 := runOnce()
+	if g1 != g2 || t1 != t2 {
+		t.Fatalf("non-deterministic: (%d,%v) vs (%d,%v)", g1, t1, g2, t2)
+	}
+}
+
+func TestDuplicateHostRejected(t *testing.T) {
+	clk := vclock.NewVirtual()
+	n := New(clk, 1)
+	if _, err := n.Host("x", LinkParams{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Host("x", LinkParams{}); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+}
+
+func TestPayloadIsolatedFromCallerBuffer(t *testing.T) {
+	_, a, b, clk := pair(t, LinkParams{Latency: time.Millisecond})
+	var got []byte
+	b.SetHandler(func(_ string, p []byte) { got = p })
+	buf := []byte("original")
+	clk.Enter()
+	a.Send("b", buf)
+	copy(buf, "CLOBBER!")
+	clk.Exit()
+	if string(got) != "original" {
+		t.Fatalf("payload aliased caller buffer: %q", got)
+	}
+}

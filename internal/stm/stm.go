@@ -1,0 +1,364 @@
+// Package stm implements software transactional memory in the style of
+// GHC's STM, which the paper's monadic threads use for nonblocking
+// synchronization (§4.7): "monadic threads can simply use sys_nbio to
+// submit STM computations as IO operations."
+//
+// The implementation is a TL2-style versioned STM: a global version clock,
+// per-TVar version stamps, optimistic reads validated at access and commit
+// time, and write locking in a canonical order at commit. Beyond the
+// paper's usage, Retry is supported as a *blocking* operation integrated
+// with the hybrid scheduler: a retrying transaction parks its monadic
+// thread and is rewoken when any TVar in its read set is committed to —
+// the scheduler-extension route the paper describes for blocking
+// synchronization.
+package stm
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hybrid/internal/core"
+)
+
+// globalClock is the TL2 version clock, shared by all TVars.
+var globalClock atomic.Uint64
+
+// tvar is the untyped core of a TVar, letting transactions hold
+// heterogeneous read and write sets.
+type tvar struct {
+	id      uint64
+	mu      sync.Mutex
+	version uint64
+	value   any
+	waiters []*waiter
+}
+
+var nextTVarID atomic.Uint64
+
+// waiter is a parked retry-er; fire-once.
+type waiter struct {
+	fired atomic.Bool
+	wake  func()
+}
+
+// TVar is a transactional variable holding a value of type A.
+type TVar[A any] struct{ v tvar }
+
+// NewTVar creates a TVar holding x.
+func NewTVar[A any](x A) *TVar[A] {
+	t := &TVar[A]{}
+	t.v.id = nextTVarID.Add(1)
+	t.v.value = x
+	return t
+}
+
+// Tx is an in-flight transaction. It must only be used from the function
+// passed to Atomically (or Run), and never escapes it.
+type Tx struct {
+	readVersion uint64
+	reads       map[*tvar]uint64
+	writes      map[*tvar]any
+	order       []*tvar // write-set in first-write order (rebuilt sorted at commit)
+}
+
+// control-flow signals, recovered inside the attempt loop.
+type retrySignal struct{}
+type conflictSignal struct{}
+
+// Retry abandons the transaction and blocks until another transaction
+// commits to any TVar this one has read (GHC's retry).
+func (tx *Tx) Retry() { panic(retrySignal{}) }
+
+// Read reads v inside the transaction.
+func Read[A any](tx *Tx, v *TVar[A]) A {
+	tv := &v.v
+	if w, ok := tx.writes[tv]; ok {
+		return w.(A)
+	}
+	tv.mu.Lock()
+	val := tv.value
+	ver := tv.version
+	tv.mu.Unlock()
+	if ver > tx.readVersion {
+		// The var changed after this transaction began: the snapshot is
+		// no longer consistent; abort and re-run.
+		panic(conflictSignal{})
+	}
+	if prev, seen := tx.reads[tv]; seen && prev != ver {
+		panic(conflictSignal{})
+	}
+	tx.reads[tv] = ver
+	return val.(A)
+}
+
+// Write writes v inside the transaction (buffered until commit).
+func Write[A any](tx *Tx, v *TVar[A], x A) {
+	tv := &v.v
+	if _, ok := tx.writes[tv]; !ok {
+		tx.order = append(tx.order, tv)
+	}
+	tx.writes[tv] = x
+}
+
+// Modify applies f to the value of v inside the transaction.
+func Modify[A any](tx *Tx, v *TVar[A], f func(A) A) {
+	Write(tx, v, f(Read(tx, v)))
+}
+
+// status is the outcome of one attempt.
+type status int
+
+const (
+	committed status = iota
+	conflicted
+	retried
+)
+
+// attempt runs f once, returning the outcome. On retried the returned
+// read map (TVar -> version seen) identifies what to wait on.
+func attempt[A any](f func(*Tx) A) (result A, st status, reads map[*tvar]uint64) {
+	tx := &Tx{
+		readVersion: globalClock.Load(),
+		reads:       make(map[*tvar]uint64),
+		writes:      make(map[*tvar]any),
+	}
+	st = committed
+	func() {
+		defer func() {
+			switch r := recover(); r.(type) {
+			case nil:
+			case retrySignal:
+				st = retried
+			case conflictSignal:
+				st = conflicted
+			default:
+				panic(r)
+			}
+		}()
+		result = f(tx)
+	}()
+	switch st {
+	case conflicted:
+		return result, conflicted, nil
+	case retried:
+		return result, retried, tx.reads
+	}
+	if !commit(tx) {
+		return result, conflicted, nil
+	}
+	return result, committed, nil
+}
+
+// commit locks the write set in id order, validates the read set, and
+// publishes the writes under a new version. It reports success.
+func commit(tx *Tx) bool {
+	if len(tx.writes) == 0 {
+		// Read-only: validate that the read snapshot is still current.
+		for tv, ver := range tx.reads {
+			tv.mu.Lock()
+			ok := tv.version == ver
+			tv.mu.Unlock()
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	locked := tx.order
+	sort.Slice(locked, func(i, j int) bool { return locked[i].id < locked[j].id })
+	for _, tv := range locked {
+		tv.mu.Lock()
+	}
+	unlock := func() {
+		for _, tv := range locked {
+			tv.mu.Unlock()
+		}
+	}
+	// Validate reads against the locked state. Vars we did not write are
+	// probed with TryLock: blocking here could deadlock against a
+	// committer holding them in a different order, and a held lock means
+	// a concurrent commit is touching the var anyway — abort and re-run.
+	for tv, ver := range tx.reads {
+		if _, ours := tx.writes[tv]; ours {
+			if tv.version != ver {
+				unlock()
+				return false
+			}
+			continue
+		}
+		if !tv.mu.TryLock() {
+			unlock()
+			return false
+		}
+		ok := tv.version == ver
+		tv.mu.Unlock()
+		if !ok {
+			unlock()
+			return false
+		}
+	}
+	writeVersion := globalClock.Add(1)
+	var toWake []*waiter
+	for _, tv := range locked {
+		tv.value = tx.writes[tv]
+		tv.version = writeVersion
+		if len(tv.waiters) > 0 {
+			toWake = append(toWake, tv.waiters...)
+			tv.waiters = nil
+		}
+	}
+	unlock()
+	for _, w := range toWake {
+		if w.fired.CompareAndSwap(false, true) {
+			w.wake()
+		}
+	}
+	return true
+}
+
+// subscribe parks a wake hook on every TVar in the read map, re-checking
+// versions so a commit that raced ahead of the subscription still
+// triggers the wake. It is fire-once across the whole set.
+func subscribe(reads map[*tvar]uint64, wake func()) {
+	w := &waiter{wake: wake}
+	for tv, seen := range reads {
+		tv.mu.Lock()
+		changed := tv.version != seen
+		if !changed {
+			tv.waiters = append(tv.waiters, w)
+		}
+		tv.mu.Unlock()
+		if changed {
+			if w.fired.CompareAndSwap(false, true) {
+				wake()
+			}
+			return
+		}
+	}
+}
+
+// attemptOr implements GHC's orElse at the attempt level: run f1; if it
+// retries, run f2; if both retry, the composite retries on the union of
+// both read sets. A TVar read at different versions by the two attempts
+// has changed in between — the composite conflicts and re-runs.
+func attemptOr[A any](f1, f2 func(*Tx) A) (A, status, map[*tvar]uint64) {
+	v1, st1, r1 := attempt(f1)
+	if st1 != retried {
+		return v1, st1, r1
+	}
+	v2, st2, r2 := attempt(f2)
+	if st2 != retried {
+		return v2, st2, r2
+	}
+	union := make(map[*tvar]uint64, len(r1)+len(r2))
+	for tv, ver := range r1 {
+		union[tv] = ver
+	}
+	for tv, ver := range r2 {
+		if prev, seen := union[tv]; seen && prev != ver {
+			var zero A
+			return zero, conflicted, nil
+		}
+		union[tv] = ver
+	}
+	return v2, retried, union
+}
+
+// atomicallyFrom builds the monadic retry loop around any attempt
+// function (single transaction or an orElse composite).
+func atomicallyFrom[A any](attemptFn func() (A, status, map[*tvar]uint64)) core.M[A] {
+	var once func() core.M[A]
+	once = func() core.M[A] {
+		type outcome struct {
+			val   A
+			st    status
+			reads map[*tvar]uint64
+		}
+		return core.Bind(
+			core.NBIO(func() outcome {
+				val, st, reads := attemptFn()
+				return outcome{val: val, st: st, reads: reads}
+			}),
+			func(o outcome) core.M[A] {
+				switch o.st {
+				case committed:
+					return core.Return(o.val)
+				case conflicted:
+					return once() // immediate re-run (bounces via NBIO)
+				default: // retried
+					if len(o.reads) == 0 {
+						// Retry with an empty read set can never wake.
+						panic("stm: Retry with empty read set would block forever")
+					}
+					return core.Then(
+						core.Suspend(func(resume func(core.Unit)) {
+							subscribe(o.reads, func() { resume(core.Unit{}) })
+						}),
+						once(),
+					)
+				}
+			},
+		)
+	}
+	return once()
+}
+
+// Atomically runs f as a transaction from a monadic thread. Conflicts
+// re-run the transaction; Retry parks the thread until a TVar in the read
+// set changes. The transaction function must be pure apart from TVar
+// access — it may run several times.
+func Atomically[A any](f func(*Tx) A) core.M[A] {
+	return atomicallyFrom(func() (A, status, map[*tvar]uint64) { return attempt(f) })
+}
+
+// AtomicallyOr is GHC's orElse: run f1 as a transaction; if it calls
+// Retry, its effects are discarded and f2 runs instead; if both retry,
+// the thread parks until any TVar read by either changes.
+func AtomicallyOr[A any](f1, f2 func(*Tx) A) core.M[A] {
+	return atomicallyFrom(func() (A, status, map[*tvar]uint64) { return attemptOr(f1, f2) })
+}
+
+// AtomicallyBlocking runs f as a transaction from an ordinary goroutine,
+// blocking the goroutine on Retry. Intended for tests and for code outside
+// the hybrid runtime.
+func AtomicallyBlocking[A any](f func(*Tx) A) A {
+	return blockingFrom(func() (A, status, map[*tvar]uint64) { return attempt(f) })
+}
+
+// AtomicallyOrBlocking is the goroutine-blocking form of AtomicallyOr.
+func AtomicallyOrBlocking[A any](f1, f2 func(*Tx) A) A {
+	return blockingFrom(func() (A, status, map[*tvar]uint64) { return attemptOr(f1, f2) })
+}
+
+func blockingFrom[A any](attemptFn func() (A, status, map[*tvar]uint64)) A {
+	for {
+		val, st, rs := attemptFn()
+		switch st {
+		case committed:
+			return val
+		case conflicted:
+			continue
+		case retried:
+			ch := make(chan struct{})
+			subscribe(rs, func() { close(ch) })
+			<-ch
+		}
+	}
+}
+
+// ReadNow reads a TVar outside any transaction (a consistent single read).
+func ReadNow[A any](v *TVar[A]) A {
+	v.v.mu.Lock()
+	defer v.v.mu.Unlock()
+	return v.v.value.(A)
+}
+
+// WriteNow writes a TVar outside any transaction, as its own tiny
+// transaction (it bumps the version clock and wakes retry-ers).
+func WriteNow[A any](v *TVar[A], x A) {
+	AtomicallyBlocking(func(tx *Tx) core.Unit {
+		Write(tx, v, x)
+		return core.Unit{}
+	})
+}

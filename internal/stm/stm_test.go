@@ -1,0 +1,480 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hybrid/internal/core"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	v := NewTVar(10)
+	got := AtomicallyBlocking(func(tx *Tx) int {
+		Write(tx, v, Read(tx, v)+1)
+		return Read(tx, v)
+	})
+	if got != 11 || ReadNow(v) != 11 {
+		t.Fatalf("got %d, now %d", got, ReadNow(v))
+	}
+}
+
+func TestModify(t *testing.T) {
+	v := NewTVar("a")
+	AtomicallyBlocking(func(tx *Tx) core.Unit {
+		Modify(tx, v, func(s string) string { return s + "b" })
+		return core.Unit{}
+	})
+	if ReadNow(v) != "ab" {
+		t.Fatalf("v = %q", ReadNow(v))
+	}
+}
+
+func TestWriteNow(t *testing.T) {
+	v := NewTVar(1)
+	WriteNow(v, 9)
+	if ReadNow(v) != 9 {
+		t.Fatal("WriteNow lost")
+	}
+}
+
+func TestTransactionIsolation(t *testing.T) {
+	// A transaction's writes are invisible until commit.
+	v := NewTVar(0)
+	inTx := make(chan struct{})
+	release := make(chan struct{})
+	go AtomicallyBlocking(func(tx *Tx) core.Unit {
+		Write(tx, v, 42)
+		select {
+		case <-inTx: // already closed on a re-run
+		default:
+			close(inTx)
+		}
+		<-release
+		return core.Unit{}
+	})
+	<-inTx
+	if ReadNow(v) != 0 {
+		t.Fatal("uncommitted write visible")
+	}
+	close(release)
+}
+
+func TestConcurrentCountersLinearizable(t *testing.T) {
+	// The classic torture test: G goroutines each increment N times; the
+	// final value must be exactly G*N.
+	v := NewTVar(0)
+	const g, n = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				AtomicallyBlocking(func(tx *Tx) core.Unit {
+					Write(tx, v, Read(tx, v)+1)
+					return core.Unit{}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ReadNow(v); got != g*n {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, g*n)
+	}
+}
+
+func TestMultiVarInvariantPreserved(t *testing.T) {
+	// Transfers between two accounts keep the total constant under
+	// concurrency — serializability across multiple TVars.
+	a := NewTVar(1000)
+	b := NewTVar(1000)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		dir := i%2 == 0
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 300; j++ {
+				AtomicallyBlocking(func(tx *Tx) core.Unit {
+					from, to := a, b
+					if !dir {
+						from, to = b, a
+					}
+					x := Read(tx, from)
+					Write(tx, from, x-1)
+					Write(tx, to, Read(tx, to)+1)
+					return core.Unit{}
+				})
+			}
+		}()
+	}
+	// Concurrent observers must never see a torn total.
+	stop := make(chan struct{})
+	var torn atomic.Bool
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			total := AtomicallyBlocking(func(tx *Tx) int {
+				return Read(tx, a) + Read(tx, b)
+			})
+			if total != 2000 {
+				torn.Store(true)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if torn.Load() {
+		t.Fatal("observer saw inconsistent total")
+	}
+	if total := ReadNow(a) + ReadNow(b); total != 2000 {
+		t.Fatalf("final total = %d", total)
+	}
+}
+
+func TestRetryBlocksUntilWrite(t *testing.T) {
+	v := NewTVar(0)
+	got := make(chan int, 1)
+	started := make(chan struct{})
+	var once sync.Once
+	go func() {
+		got <- AtomicallyBlocking(func(tx *Tx) int {
+			once.Do(func() { close(started) })
+			x := Read(tx, v)
+			if x == 0 {
+				tx.Retry()
+			}
+			return x
+		})
+	}()
+	<-started
+	select {
+	case <-got:
+		t.Fatal("retry returned before write")
+	default:
+	}
+	WriteNow(v, 7)
+	if x := <-got; x != 7 {
+		t.Fatalf("woke with %d", x)
+	}
+}
+
+func TestRetryWakeOnAnyReadVar(t *testing.T) {
+	a := NewTVar(0)
+	b := NewTVar(0)
+	got := make(chan int, 1)
+	go func() {
+		got <- AtomicallyBlocking(func(tx *Tx) int {
+			x, y := Read(tx, a), Read(tx, b)
+			if x == 0 && y == 0 {
+				tx.Retry()
+			}
+			return x + y
+		})
+	}()
+	WriteNow(b, 5)
+	if x := <-got; x != 5 {
+		t.Fatalf("woke with %d", x)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Monadic integration
+// ---------------------------------------------------------------------------
+
+func runRT(t *testing.T, workers int, m core.M[core.Unit]) {
+	t.Helper()
+	rt := core.NewRuntime(core.Options{Workers: workers})
+	t.Cleanup(rt.Shutdown)
+	rt.Run(m)
+}
+
+func TestAtomicallyFromThreads(t *testing.T) {
+	v := NewTVar(0)
+	const n = 200
+	runRT(t, 4, core.ForN(n, func(int) core.M[core.Unit] {
+		return core.Fork(core.Then(
+			Atomically(func(tx *Tx) core.Unit {
+				Write(tx, v, Read(tx, v)+1)
+				return core.Unit{}
+			}),
+			core.Skip,
+		))
+	}))
+	if got := ReadNow(v); got != n {
+		t.Fatalf("counter = %d, want %d", got, n)
+	}
+}
+
+func TestAtomicallyRetryParksThread(t *testing.T) {
+	// A consumer thread retries until a producer thread fills the TVar —
+	// the producer-consumer pattern as blocking STM inside the scheduler.
+	v := NewTVar(0)
+	var consumed atomic.Int64
+	runRT(t, 2, core.Seq(
+		core.Fork(core.Bind(
+			Atomically(func(tx *Tx) int {
+				x := Read(tx, v)
+				if x == 0 {
+					tx.Retry()
+				}
+				return x
+			}),
+			func(x int) core.M[core.Unit] {
+				return core.Do(func() { consumed.Store(int64(x)) })
+			},
+		)),
+		core.ForN(100, func(int) core.M[core.Unit] { return core.Yield() }),
+		Atomically(func(tx *Tx) core.Unit {
+			Write(tx, v, 33)
+			return core.Unit{}
+		}),
+	))
+	if consumed.Load() != 33 {
+		t.Fatalf("consumed = %d", consumed.Load())
+	}
+}
+
+func TestAtomicallySTMQueue(t *testing.T) {
+	// A bounded STM queue: producers retry when full, consumers when
+	// empty; all items delivered exactly once.
+	q := NewTVar([]int{})
+	const cap = 4
+	push := func(x int) core.M[core.Unit] {
+		return Atomically(func(tx *Tx) core.Unit {
+			xs := Read(tx, q)
+			if len(xs) >= cap {
+				tx.Retry()
+			}
+			Write(tx, q, append(append([]int{}, xs...), x))
+			return core.Unit{}
+		})
+	}
+	pop := Atomically(func(tx *Tx) int {
+		xs := Read(tx, q)
+		if len(xs) == 0 {
+			tx.Retry()
+		}
+		Write(tx, q, append([]int{}, xs[1:]...))
+		return xs[0]
+	})
+	var mu sync.Mutex
+	var got []int
+	const n = 100
+	runRT(t, 2, core.Seq(
+		core.Fork(core.ForN(n, func(i int) core.M[core.Unit] { return push(i) })),
+		core.ForN(n, func(int) core.M[core.Unit] {
+			return core.Bind(pop, func(x int) core.M[core.Unit] {
+				return core.Do(func() {
+					mu.Lock()
+					got = append(got, x)
+					mu.Unlock()
+				})
+			})
+		}),
+	))
+	if len(got) != n {
+		t.Fatalf("popped %d items", len(got))
+	}
+	for i, x := range got {
+		if x != i {
+			t.Fatalf("out of order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+// Property: any batch of concurrent transfers over a random set of
+// accounts conserves the total balance.
+func TestTransfersConserveProperty(t *testing.T) {
+	check := func(nAccounts, nOps uint8, seed int64) bool {
+		n := int(nAccounts%6) + 2
+		ops := int(nOps%64) + 1
+		accounts := make([]*TVar[int], n)
+		for i := range accounts {
+			accounts[i] = NewTVar(100)
+		}
+		rng := seed
+		next := func() int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int(rng >> 33)
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			from := accounts[next()%n]
+			to := accounts[next()%n]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < ops; i++ {
+					AtomicallyBlocking(func(tx *Tx) core.Unit {
+						x := Read(tx, from)
+						Write(tx, from, x-1)
+						Write(tx, to, Read(tx, to)+1)
+						return core.Unit{}
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		total := 0
+		for _, a := range accounts {
+			total += ReadNow(a)
+		}
+		return total == n*100
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- OrElse (GHC's orElse) ---------------------------------------------------
+
+func TestOrElseFirstWins(t *testing.T) {
+	v := NewTVar(5)
+	got := AtomicallyOrBlocking(
+		func(tx *Tx) int { return Read(tx, v) },
+		func(*Tx) int { return -1 },
+	)
+	if got != 5 {
+		t.Fatalf("got %d, want first branch's 5", got)
+	}
+}
+
+func TestOrElseFallsThroughOnRetry(t *testing.T) {
+	empty := NewTVar(0)
+	backup := NewTVar(9)
+	got := AtomicallyOrBlocking(
+		func(tx *Tx) int {
+			if Read(tx, empty) == 0 {
+				tx.Retry()
+			}
+			return Read(tx, empty)
+		},
+		func(tx *Tx) int { return Read(tx, backup) },
+	)
+	if got != 9 {
+		t.Fatalf("got %d, want fallback 9", got)
+	}
+}
+
+func TestOrElseDiscardsFirstBranchWrites(t *testing.T) {
+	a := NewTVar(0)
+	b := NewTVar(0)
+	AtomicallyOrBlocking(
+		func(tx *Tx) core.Unit {
+			Write(tx, a, 111) // must be discarded on retry
+			tx.Retry()
+			return core.Unit{}
+		},
+		func(tx *Tx) core.Unit {
+			Write(tx, b, 222)
+			return core.Unit{}
+		},
+	)
+	if ReadNow(a) != 0 {
+		t.Fatalf("retried branch's write leaked: a = %d", ReadNow(a))
+	}
+	if ReadNow(b) != 222 {
+		t.Fatalf("fallback write lost: b = %d", ReadNow(b))
+	}
+}
+
+func TestOrElseBlocksOnUnionOfReadSets(t *testing.T) {
+	// Both branches retry; a write to *either* read set must wake the
+	// transaction.
+	for branch := 0; branch < 2; branch++ {
+		qa := NewTVar(0)
+		qb := NewTVar(0)
+		take := func(v *TVar[int]) func(*Tx) int {
+			return func(tx *Tx) int {
+				x := Read(tx, v)
+				if x == 0 {
+					tx.Retry()
+				}
+				Write(tx, v, 0)
+				return x
+			}
+		}
+		got := make(chan int, 1)
+		go func() { got <- AtomicallyOrBlocking(take(qa), take(qb)) }()
+		select {
+		case x := <-got:
+			t.Fatalf("returned %d before any write", x)
+		case <-time.After(10 * time.Millisecond):
+		}
+		if branch == 0 {
+			WriteNow(qa, 7)
+		} else {
+			WriteNow(qb, 8)
+		}
+		if x := <-got; x != 7+branch {
+			t.Fatalf("branch %d: woke with %d", branch, x)
+		}
+	}
+}
+
+func TestOrElseMonadicQueuePair(t *testing.T) {
+	// A consumer draining whichever of two STM queues has data first —
+	// the canonical orElse idiom — inside the hybrid scheduler.
+	qa := NewTVar([]int{})
+	qb := NewTVar([]int{})
+	pop := func(q *TVar[[]int]) func(*Tx) int {
+		return func(tx *Tx) int {
+			xs := Read(tx, q)
+			if len(xs) == 0 {
+				tx.Retry()
+			}
+			Write(tx, q, append([]int{}, xs[1:]...))
+			return xs[0]
+		}
+	}
+	push := func(q *TVar[[]int], x int) core.M[core.Unit] {
+		return Atomically(func(tx *Tx) core.Unit {
+			Write(tx, q, append(append([]int{}, Read(tx, q)...), x))
+			return core.Unit{}
+		})
+	}
+	var mu sync.Mutex
+	var got []int
+	rt := core.NewRuntime(core.Options{Workers: 2})
+	defer rt.Shutdown()
+	rt.Run(core.Seq(
+		core.Fork(core.ForN(10, func(i int) core.M[core.Unit] {
+			if i%2 == 0 {
+				return push(qa, i)
+			}
+			return push(qb, i)
+		})),
+		core.ForN(10, func(int) core.M[core.Unit] {
+			return core.Bind(AtomicallyOr(pop(qa), pop(qb)), func(x int) core.M[core.Unit] {
+				return core.Do(func() {
+					mu.Lock()
+					got = append(got, x)
+					mu.Unlock()
+				})
+			})
+		}),
+	))
+	if len(got) != 10 {
+		t.Fatalf("drained %d of 10", len(got))
+	}
+	seen := map[int]bool{}
+	for _, x := range got {
+		if seen[x] {
+			t.Fatalf("duplicate %d in %v", x, got)
+		}
+		seen[x] = true
+	}
+}

@@ -1,0 +1,948 @@
+package tcp
+
+import (
+	"time"
+
+	"hybrid/internal/iovec"
+	"hybrid/internal/vclock"
+)
+
+// State is a TCP connection state (RFC 793 §3.2).
+type State int
+
+// Connection states.
+const (
+	StateClosed State = iota
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+var stateNames = [...]string{
+	"CLOSED", "SYN_SENT", "SYN_RCVD", "ESTABLISHED", "FIN_WAIT_1",
+	"FIN_WAIT_2", "CLOSE_WAIT", "CLOSING", "LAST_ACK", "TIME_WAIT",
+}
+
+func (st State) String() string {
+	if int(st) < len(stateNames) {
+		return stateNames[st]
+	}
+	return "UNKNOWN"
+}
+
+// rtxSeg is one sent-but-unacknowledged segment. The payload vector
+// shares the send buffer's storage: retransmission holds references, not
+// copies.
+type rtxSeg struct {
+	seq           uint32
+	flags         Flags
+	payload       iovec.Vec
+	retransmitted bool
+	retries       int
+}
+
+func (r *rtxSeg) seqEnd() uint32 {
+	n := r.seq + uint32(r.payload.Len())
+	if r.flags&FlagSYN != 0 {
+		n++
+	}
+	if r.flags&FlagFIN != 0 {
+		n++
+	}
+	return n
+}
+
+// Conn is one TCP connection. All fields are guarded by the stack's lock;
+// user-facing methods are the Try*/On* pairs at the bottom plus the
+// monadic wrappers in api.go.
+type Conn struct {
+	s        *Stack
+	key      connKey
+	state    State
+	err      error
+	listener *Listener // for SYN_RCVD conns created by a listener
+
+	// Send side.
+	iss       uint32
+	sndUna    uint32
+	sndNxt    uint32
+	sndWnd    uint32    // peer's advertised window
+	sndBuf    iovec.Vec // user data not yet segmented (zero-copy chain)
+	rtx       []rtxSeg
+	finQueued bool
+	finSent   bool
+	finSeq    uint32
+
+	// Congestion control (RFC 5681).
+	cwnd     uint32
+	ssthresh uint32
+	dupAcks  int
+
+	// RTT estimation (RFC 6298, with Karn's algorithm).
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	rttSeq       uint32
+	rttStart     vclock.Time
+	rttPending   bool
+
+	// Timers; gen counters invalidate stale callbacks.
+	rtoTimer     *vclock.Timer
+	rtoGen       uint64
+	persistTimer *vclock.Timer
+	persistGen   uint64
+	twTimer      *vclock.Timer
+	delackTimer  *vclock.Timer
+	delackGen    uint64
+	delackCount  int // data segments received since the last ACK sent
+
+	// Receive side.
+	irs               uint32
+	rcvNxt            uint32
+	rcvBuf            iovec.Vec
+	ooo               map[uint32]iovec.Vec // seq -> payload, out-of-order
+	oooFin            bool
+	oooFinSeq         uint32
+	finRcvd           bool
+	lastWndAdvertised uint32
+
+	// Parked user operations (one-shot wake callbacks).
+	recvW, sendW, estW []func()
+}
+
+// --- Accessors -------------------------------------------------------------
+
+// State reports the connection state.
+func (c *Conn) State() State {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.state
+}
+
+// Err reports the connection's terminal error, if any.
+func (c *Conn) Err() error {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.err
+}
+
+// LocalPort and RemoteAddr identify the connection.
+func (c *Conn) LocalPort() uint16  { return c.key.localPort }
+func (c *Conn) RemoteAddr() string { return c.key.remoteAddr }
+func (c *Conn) RemotePort() uint16 { return c.key.remotePort }
+
+// --- Segment transmission ---------------------------------------------------
+
+// rcvWindowLocked is the receive window to advertise.
+func (c *Conn) rcvWindowLocked() uint32 {
+	used := c.rcvBuf.Len()
+	if used >= c.s.cfg.RecvBuf {
+		return 0
+	}
+	return uint32(c.s.cfg.RecvBuf - used)
+}
+
+// sendSegLocked builds and transmits a segment carrying flags and payload
+// at sndNxt, advancing sndNxt and recording it for retransmission when
+// track is set. ACK and the current window ride along on everything
+// except the initial SYN.
+func (c *Conn) sendSegLocked(flags Flags, payload iovec.Vec, track bool) {
+	seg := &Segment{
+		SrcPort: c.key.localPort,
+		DstPort: c.key.remotePort,
+		Seq:     c.sndNxt,
+		Flags:   flags,
+		Window:  c.rcvWindowLocked(),
+		Payload: payload,
+	}
+	if flags != FlagSYN { // everything after the first SYN acknowledges
+		seg.Flags |= FlagACK
+		seg.Ack = c.rcvNxt
+	}
+	if track {
+		c.rtx = append(c.rtx, rtxSeg{seq: c.sndNxt, flags: flags, payload: payload})
+		c.sndNxt += seg.seqLen()
+		// RTT sampling: time the newest tracked segment if no sample is
+		// in flight.
+		if !c.rttPending {
+			c.rttPending = true
+			c.rttSeq = c.sndNxt
+			c.rttStart = c.s.clock.Now()
+		}
+		c.armRTOLocked()
+	}
+	if seg.Flags&FlagACK != 0 {
+		// Any ACK-bearing segment (data or pure) satisfies a pending
+		// delayed ACK.
+		c.delackCount = 0
+	}
+	c.lastWndAdvertised = seg.Window
+	c.s.stats.SegsOut++
+	c.s.stats.BytesOut += uint64(payload.Len())
+	c.s.host.Send(c.key.remoteAddr, seg.Encode())
+}
+
+// sendAckLocked emits a bare ACK with the current window.
+func (c *Conn) sendAckLocked() {
+	c.sendSegLocked(FlagACK, iovec.Vec{}, false)
+}
+
+// ackDataLocked acknowledges received data under the configured policy:
+// immediately by default, or delayed per RFC 1122 when DelayedAck is set
+// (urgent overrides the delay: second segment, out-of-order, FIN).
+func (c *Conn) ackDataLocked(urgent bool) {
+	if c.s.cfg.DelayedAck <= 0 {
+		c.sendAckLocked()
+		return
+	}
+	c.delackCount++
+	if urgent || c.delackCount >= 2 {
+		c.flushDelackLocked()
+		return
+	}
+	if c.delackTimer != nil {
+		return // already armed
+	}
+	gen := c.delackGen
+	c.delackTimer = c.s.clock.After(c.s.cfg.DelayedAck, func() {
+		c.s.mu.Lock()
+		if c.delackGen != gen || c.state == StateClosed {
+			c.s.mu.Unlock()
+			return
+		}
+		c.delackTimer = nil
+		c.delackGen++
+		if c.delackCount > 0 {
+			c.flushDelackLocked()
+		}
+		c.s.mu.Unlock()
+	})
+}
+
+// flushDelackLocked sends the pending ACK now and disarms the timer.
+func (c *Conn) flushDelackLocked() {
+	c.delackCount = 0
+	if c.delackTimer != nil {
+		c.delackTimer.Stop()
+		c.delackTimer = nil
+	}
+	c.delackGen++
+	c.sendAckLocked()
+}
+
+// flightLocked is the amount of unacknowledged sequence space.
+func (c *Conn) flightLocked() uint32 { return c.sndNxt - c.sndUna }
+
+// trySendLocked pumps queued user data (and a queued FIN) into segments,
+// respecting min(cwnd, peer window), and returns user wakeups to run.
+func (c *Conn) trySendLocked() (wakes []func()) {
+	mss := uint32(c.s.cfg.MSS)
+	for !c.sndBuf.Empty() {
+		wnd := c.cwnd
+		if c.sndWnd < wnd {
+			wnd = c.sndWnd
+		}
+		flight := c.flightLocked()
+		if flight >= wnd {
+			if c.sndWnd == 0 && flight == 0 {
+				c.armPersistLocked()
+			}
+			break
+		}
+		n := wnd - flight
+		if n > mss {
+			n = mss
+		}
+		if int(n) > c.sndBuf.Len() {
+			n = uint32(c.sndBuf.Len())
+		}
+		// Nagle (RFC 896): hold a runt back while data is in flight,
+		// unless a FIN is queued behind it (flush on close).
+		if c.s.cfg.Nagle && n < mss && flight > 0 && !c.finQueued {
+			break
+		}
+		// Zero-copy: the segment and its retransmission record share the
+		// send buffer's storage.
+		payload := c.sndBuf.Take(int(n))
+		c.sndBuf = c.sndBuf.Drop(int(n))
+		c.sendSegLocked(FlagACK, payload, true)
+	}
+	// FIN goes out once the send queue is empty.
+	if c.finQueued && !c.finSent && c.sndBuf.Empty() &&
+		(c.state == StateEstablished || c.state == StateCloseWait) {
+		c.finSent = true
+		c.finSeq = c.sndNxt
+		c.sendSegLocked(FlagFIN, iovec.Vec{}, true)
+		if c.state == StateEstablished {
+			c.state = StateFinWait1
+		} else {
+			c.state = StateLastAck
+		}
+	}
+	// Space opened for blocked writers?
+	if c.sndBuf.Len() < c.s.cfg.SendBuf && len(c.sendW) > 0 {
+		wakes = c.sendW
+		c.sendW = nil
+	}
+	return wakes
+}
+
+// --- Timers ------------------------------------------------------------------
+
+// armRTOLocked starts the retransmission timer if segments are in flight
+// and it is not already running.
+func (c *Conn) armRTOLocked() {
+	if c.rtoTimer != nil || len(c.rtx) == 0 {
+		return
+	}
+	gen := c.rtoGen
+	c.rtoTimer = c.s.clock.After(c.rto, func() {
+		c.s.mu.Lock()
+		if c.rtoGen != gen || c.state == StateClosed {
+			c.s.mu.Unlock()
+			return
+		}
+		c.rtoTimer = nil
+		c.rtoGen++
+		wakes := c.onRTOLocked()
+		c.s.mu.Unlock()
+		runAll(wakes)
+	})
+}
+
+// restartRTOLocked cancels and re-arms the retransmission timer.
+func (c *Conn) restartRTOLocked() {
+	c.cancelRTOLocked()
+	c.armRTOLocked()
+}
+
+func (c *Conn) cancelRTOLocked() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+		c.rtoTimer = nil
+	}
+	c.rtoGen++
+}
+
+// onRTOLocked handles a retransmission timeout: exponential backoff,
+// congestion response, and retransmission of the earliest unacked segment
+// (the paper's worker_tcp_timer events land here).
+func (c *Conn) onRTOLocked() (wakes []func()) {
+	if len(c.rtx) == 0 {
+		return nil
+	}
+	r := &c.rtx[0]
+	if r.retries >= c.s.cfg.MaxRetries {
+		return c.teardownLocked(ErrTimeout)
+	}
+	r.retries++
+	r.retransmitted = true
+	c.rttPending = false // Karn: no sample across a retransmission
+	c.s.stats.Retransmits++
+	// RFC 5681 congestion response to loss.
+	flight := c.flightLocked()
+	half := flight / 2
+	if half < 2*uint32(c.s.cfg.MSS) {
+		half = 2 * uint32(c.s.cfg.MSS)
+	}
+	c.ssthresh = half
+	c.cwnd = uint32(c.s.cfg.MSS)
+	c.dupAcks = 0
+	c.rto *= 2
+	if c.rto > c.s.cfg.RTOMax {
+		c.rto = c.s.cfg.RTOMax
+	}
+	c.resendLocked(r)
+	c.armRTOLocked()
+	return nil
+}
+
+// resendLocked retransmits one recorded segment.
+func (c *Conn) resendLocked(r *rtxSeg) {
+	seg := &Segment{
+		SrcPort: c.key.localPort,
+		DstPort: c.key.remotePort,
+		Seq:     r.seq,
+		Flags:   r.flags,
+		Window:  c.rcvWindowLocked(),
+		Payload: r.payload,
+	}
+	if r.flags != FlagSYN {
+		seg.Flags |= FlagACK
+		seg.Ack = c.rcvNxt
+	}
+	c.s.stats.SegsOut++
+	c.s.host.Send(c.key.remoteAddr, seg.Encode())
+}
+
+// armPersistLocked schedules a zero-window probe.
+func (c *Conn) armPersistLocked() {
+	if c.persistTimer != nil {
+		return
+	}
+	gen := c.persistGen
+	c.persistTimer = c.s.clock.After(c.rto, func() {
+		c.s.mu.Lock()
+		if c.persistGen != gen || c.state == StateClosed {
+			c.s.mu.Unlock()
+			return
+		}
+		c.persistTimer = nil
+		c.persistGen++
+		var wakes []func()
+		if c.sndWnd == 0 && !c.sndBuf.Empty() && c.flightLocked() == 0 {
+			// Probe with one byte beyond the window; the receiver's
+			// buffer is elastic enough to absorb and acknowledge it.
+			payload := c.sndBuf.Take(1)
+			c.sndBuf = c.sndBuf.Drop(1)
+			c.sendSegLocked(FlagACK, payload, true)
+		} else {
+			wakes = c.trySendLocked()
+		}
+		c.s.mu.Unlock()
+		runAll(wakes)
+	})
+}
+
+func (c *Conn) cancelPersistLocked() {
+	if c.persistTimer != nil {
+		c.persistTimer.Stop()
+		c.persistTimer = nil
+	}
+	c.persistGen++
+}
+
+// enterTimeWaitLocked starts the 2*MSL timer and transitions.
+func (c *Conn) enterTimeWaitLocked() {
+	c.state = StateTimeWait
+	c.cancelRTOLocked()
+	if c.twTimer != nil {
+		c.twTimer.Stop()
+	}
+	c.twTimer = c.s.clock.After(2*c.s.cfg.MSL, func() {
+		c.s.mu.Lock()
+		if c.state == StateTimeWait {
+			c.state = StateClosed
+			c.s.removeConnLocked(c)
+		}
+		c.s.mu.Unlock()
+	})
+}
+
+// teardownLocked aborts the connection with err and wakes every parked
+// operation.
+func (c *Conn) teardownLocked(err error) (wakes []func()) {
+	if c.state == StateClosed {
+		return nil
+	}
+	if c.state == StateSynRcvd && c.listener != nil {
+		c.listener.pending-- // embryonic connection dies
+	}
+	c.state = StateClosed
+	if c.err == nil {
+		c.err = err
+	}
+	c.cancelRTOLocked()
+	c.cancelPersistLocked()
+	if c.twTimer != nil {
+		c.twTimer.Stop()
+	}
+	if c.delackTimer != nil {
+		c.delackTimer.Stop()
+		c.delackTimer = nil
+	}
+	c.delackGen++
+	c.s.removeConnLocked(c)
+	wakes = append(wakes, c.recvW...)
+	wakes = append(wakes, c.sendW...)
+	wakes = append(wakes, c.estW...)
+	c.recvW, c.sendW, c.estW = nil, nil, nil
+	return wakes
+}
+
+// --- Input processing ---------------------------------------------------------
+
+// processLocked runs the state machine on one inbound segment, returning
+// user wakeups to run after the lock is released.
+func (c *Conn) processLocked(seg *Segment) (wakes []func()) {
+	if seg.Flags&FlagRST != 0 {
+		err := ErrConnReset
+		if c.state == StateSynSent {
+			err = ErrRefused
+		}
+		c.s.stats.RSTsIn++
+		return c.teardownLocked(err)
+	}
+
+	switch c.state {
+	case StateSynSent:
+		if seg.Flags&(FlagSYN|FlagACK) == FlagSYN|FlagACK {
+			if seg.Ack != c.iss+1 {
+				return nil // stale; a real stack would RST
+			}
+			c.irs = seg.Seq
+			c.rcvNxt = seg.Seq + 1
+			c.state = StateEstablished
+			wakes = append(wakes, c.acceptAckLocked(seg)...)
+			c.sendAckLocked()
+			wakes = append(wakes, c.estW...)
+			c.estW = nil
+		}
+		return wakes
+
+	case StateSynRcvd:
+		if seg.Flags&FlagSYN != 0 && seg.Seq+1 == c.rcvNxt {
+			// Retransmitted SYN: our SYN-ACK was lost; resend via rtx.
+			if len(c.rtx) > 0 {
+				c.resendLocked(&c.rtx[0])
+			}
+			return nil
+		}
+		if seg.Flags&FlagACK != 0 && seg.Ack == c.iss+1 {
+			c.state = StateEstablished
+			if c.listener != nil {
+				c.listener.pending--
+				wakes = append(wakes, c.listener.deliverLocked(c)...)
+			}
+			wakes = append(wakes, c.estW...)
+			c.estW = nil
+			wakes = append(wakes, c.acceptAckLocked(seg)...)
+			// Data may ride on the handshake ACK.
+			wakes = append(wakes, c.processDataLocked(seg)...)
+		}
+		return wakes
+
+	case StateClosed:
+		return nil
+	}
+
+	// A retransmitted SYN or SYN-ACK means the peer never saw our
+	// handshake ACK; re-acknowledge so it can leave SYN_RCVD (RFC 793's
+	// response to an old duplicate SYN).
+	if seg.Flags&FlagSYN != 0 && seqLT(seg.Seq, c.rcvNxt) {
+		c.sendAckLocked()
+		return nil
+	}
+	// Established and closing states: ACK processing first, then data.
+	if seg.Flags&FlagACK != 0 {
+		wakes = append(wakes, c.acceptAckLocked(seg)...)
+	}
+	wakes = append(wakes, c.processDataLocked(seg)...)
+	return wakes
+}
+
+// acceptAckLocked handles the ACK and window fields.
+func (c *Conn) acceptAckLocked(seg *Segment) (wakes []func()) {
+	ack := seg.Ack
+	switch {
+	case seqGT(ack, c.sndUna) && seqLEQ(ack, c.sndNxt):
+		c.sndUna = ack
+		c.dupAcks = 0
+		// Drop fully acknowledged segments from the retransmission queue.
+		kept := c.rtx[:0]
+		sawRetransmit := false
+		for i := range c.rtx {
+			if seqLEQ(c.rtx[i].seqEnd(), ack) {
+				if c.rtx[i].retransmitted {
+					sawRetransmit = true
+				}
+				continue
+			}
+			kept = append(kept, c.rtx[i])
+		}
+		c.rtx = kept
+		// RTT sample (Karn: only when nothing acked was retransmitted).
+		if c.rttPending && seqGEQ(ack, c.rttSeq) {
+			c.rttPending = false
+			if !sawRetransmit {
+				c.updateRTTLocked(time.Duration(c.s.clock.Now() - c.rttStart))
+			}
+		}
+		// Congestion window growth.
+		mss := uint32(c.s.cfg.MSS)
+		if c.cwnd < c.ssthresh {
+			c.cwnd += mss // slow start
+		} else if c.cwnd > 0 {
+			c.cwnd += mss * mss / c.cwnd // congestion avoidance
+			if c.cwnd < mss {
+				c.cwnd = mss
+			}
+		}
+		if len(c.rtx) == 0 {
+			c.cancelRTOLocked()
+		} else {
+			c.restartRTOLocked()
+		}
+		// FIN acknowledged?
+		if c.finSent && seqGT(ack, c.finSeq) {
+			switch c.state {
+			case StateFinWait1:
+				c.state = StateFinWait2
+			case StateClosing:
+				c.enterTimeWaitLocked()
+			case StateLastAck:
+				c.state = StateClosed
+				c.s.removeConnLocked(c)
+				wakes = append(wakes, c.recvW...)
+				wakes = append(wakes, c.sendW...)
+				c.recvW, c.sendW = nil, nil
+			}
+		}
+	case ack == c.sndUna && seg.Payload.Empty() && c.flightLocked() > 0:
+		// Duplicate ACK (RFC 5681 fast retransmit).
+		c.s.stats.DupAcksIn++
+		c.dupAcks++
+		if c.dupAcks == 3 && len(c.rtx) > 0 {
+			c.s.stats.FastRetransmits++
+			flight := c.flightLocked()
+			half := flight / 2
+			if half < 2*uint32(c.s.cfg.MSS) {
+				half = 2 * uint32(c.s.cfg.MSS)
+			}
+			c.ssthresh = half
+			c.cwnd = c.ssthresh
+			c.rtx[0].retransmitted = true
+			c.rttPending = false
+			c.resendLocked(&c.rtx[0])
+		}
+	}
+	// Window update, from current ACKs only (a reordered old segment must
+	// not shrink the window).
+	if seqGEQ(seg.Ack, c.sndUna) {
+		c.sndWnd = seg.Window
+		if c.sndWnd > 0 {
+			c.cancelPersistLocked()
+		}
+	}
+	wakes = append(wakes, c.trySendLocked()...)
+	return wakes
+}
+
+// updateRTTLocked folds one RTT measurement into SRTT/RTTVAR (RFC 6298).
+func (c *Conn) updateRTTLocked(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Microsecond
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		delta := c.srtt - sample
+		if delta < 0 {
+			delta = -delta
+		}
+		c.rttvar = (3*c.rttvar + delta) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	rto := c.srtt + 4*c.rttvar
+	if rto < c.s.cfg.RTOMin {
+		rto = c.s.cfg.RTOMin
+	}
+	if rto > c.s.cfg.RTOMax {
+		rto = c.s.cfg.RTOMax
+	}
+	c.rto = rto
+}
+
+// processDataLocked handles payload bytes and FIN sequencing.
+func (c *Conn) processDataLocked(seg *Segment) (wakes []func()) {
+	hasFin := seg.Flags&FlagFIN != 0
+	payload := seg.Payload
+	seq := seg.Seq
+
+	if payload.Empty() && !hasFin {
+		return nil
+	}
+
+	// Trim overlap with already-received data.
+	if !payload.Empty() && seqLT(seq, c.rcvNxt) {
+		skip := int(c.rcvNxt - seq)
+		if payload.Len() <= skip {
+			payload = iovec.Vec{}
+		} else {
+			payload = payload.Drop(skip)
+		}
+		seq = c.rcvNxt
+	}
+
+	progressed := false
+	switch {
+	case !payload.Empty() && seq == c.rcvNxt:
+		// Zero-copy: the receive buffer chains the decoded segment's
+		// storage; the one copy happens when the user reads.
+		c.rcvBuf = c.rcvBuf.Concat(payload)
+		c.rcvNxt += uint32(payload.Len())
+		progressed = true
+		c.drainOOOLocked()
+	case !payload.Empty() && seqGT(seq, c.rcvNxt):
+		c.s.stats.OutOfOrderIn++
+		if len(c.ooo) < 1024 {
+			if _, dup := c.ooo[seq]; !dup {
+				c.ooo[seq] = payload
+			}
+		}
+	}
+
+	if hasFin {
+		finSeq := seg.Seq + uint32(seg.Payload.Len())
+		switch {
+		case finSeq == c.rcvNxt && !c.finRcvd:
+			c.rcvNxt++
+			c.finRcvd = true
+			progressed = true
+			c.onPeerFinLocked()
+		case seqGT(finSeq, c.rcvNxt):
+			c.oooFin = true
+			c.oooFinSeq = finSeq
+		}
+	}
+
+	if progressed {
+		wakes = append(wakes, c.recvW...)
+		c.recvW = nil
+	}
+	// Acknowledge any segment that carried sequence space. Out-of-order
+	// arrivals (their ACK is a dup-ack the sender's fast retransmit
+	// needs), duplicates, and FINs bypass the delayed-ACK policy.
+	if c.state != StateClosed {
+		urgent := hasFin || !progressed
+		c.ackDataLocked(urgent)
+	}
+	return wakes
+}
+
+// drainOOOLocked moves now-in-order segments from the reassembly queue,
+// then applies a deferred FIN if it lines up.
+func (c *Conn) drainOOOLocked() {
+	for {
+		p, ok := c.ooo[c.rcvNxt]
+		if !ok {
+			break
+		}
+		delete(c.ooo, c.rcvNxt)
+		c.rcvBuf = c.rcvBuf.Concat(p)
+		c.rcvNxt += uint32(p.Len())
+	}
+	if c.oooFin && c.oooFinSeq == c.rcvNxt && !c.finRcvd {
+		c.rcvNxt++
+		c.finRcvd = true
+		c.oooFin = false
+		c.onPeerFinLocked()
+	}
+}
+
+// onPeerFinLocked applies the state transition for a received FIN.
+func (c *Conn) onPeerFinLocked() {
+	switch c.state {
+	case StateEstablished:
+		c.state = StateCloseWait
+	case StateFinWait1:
+		if c.finSent && seqGT(c.sndUna, c.finSeq) {
+			c.enterTimeWaitLocked()
+		} else {
+			c.state = StateClosing
+		}
+	case StateFinWait2:
+		c.enterTimeWaitLocked()
+	}
+}
+
+// --- User operations (nonblocking core + ready hooks) -------------------------
+
+// TryRead copies buffered stream data into p. It returns ErrWouldBlock
+// when no data is available yet, (0, nil) at end of stream, and the
+// connection's error after an abort.
+func (c *Conn) TryRead(p []byte) (int, error) {
+	defer c.s.enter()()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.rcvBuf.Empty() {
+		switch {
+		case c.err != nil:
+			return 0, c.err
+		case c.finRcvd:
+			return 0, nil // EOF
+		case c.state == StateClosed:
+			return 0, ErrClosed
+		default:
+			return 0, ErrWouldBlock
+		}
+	}
+	n := c.rcvBuf.CopyTo(p)
+	c.rcvBuf = c.rcvBuf.Drop(n)
+	// Window update: if the advertised window was (near) zero and has
+	// reopened, tell the peer.
+	if c.lastWndAdvertised < uint32(c.s.cfg.MSS) &&
+		c.rcvWindowLocked() >= uint32(c.s.cfg.MSS) &&
+		c.state != StateClosed {
+		c.sendAckLocked()
+	}
+	return n, nil
+}
+
+// OnRecvReady registers a one-shot callback for when TryRead may make
+// progress (data, EOF, or error).
+func (c *Conn) OnRecvReady(cb func()) {
+	c.s.mu.Lock()
+	if !c.rcvBuf.Empty() || c.finRcvd || c.err != nil || c.state == StateClosed {
+		c.s.mu.Unlock()
+		cb()
+		return
+	}
+	c.recvW = append(c.recvW, cb)
+	c.s.mu.Unlock()
+}
+
+// TryWrite queues stream data for transmission, returning how much was
+// accepted. It returns ErrWouldBlock when the send buffer is full.
+func (c *Conn) TryWrite(p []byte) (int, error) {
+	defer c.s.enter()()
+	c.s.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.s.mu.Unlock()
+		return 0, err
+	}
+	if c.finQueued || c.finSent {
+		c.s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateSynSent, StateSynRcvd:
+	default:
+		c.s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	space := c.s.cfg.SendBuf - c.sndBuf.Len()
+	if space <= 0 {
+		c.s.mu.Unlock()
+		return 0, ErrWouldBlock
+	}
+	n := len(p)
+	if n > space {
+		n = space
+	}
+	// The one user-boundary copy: the caller may reuse p immediately.
+	// TryWriteV transfers ownership instead and skips even this copy.
+	cp := make([]byte, n)
+	copy(cp, p[:n])
+	c.sndBuf = c.sndBuf.Append(cp)
+	var wakes []func()
+	if c.state == StateEstablished || c.state == StateCloseWait {
+		wakes = c.trySendLocked()
+	}
+	c.s.mu.Unlock()
+	runAll(wakes)
+	return n, nil
+}
+
+// OnSendReady registers a one-shot callback for when TryWrite may accept
+// data again.
+func (c *Conn) OnSendReady(cb func()) {
+	c.s.mu.Lock()
+	if c.sndBuf.Len() < c.s.cfg.SendBuf || c.err != nil || c.state == StateClosed {
+		c.s.mu.Unlock()
+		cb()
+		return
+	}
+	c.sendW = append(c.sendW, cb)
+	c.s.mu.Unlock()
+}
+
+// OnEstablished registers a one-shot callback for when the connection
+// leaves SYN_SENT/SYN_RCVD (established or failed).
+func (c *Conn) OnEstablished(cb func()) {
+	c.s.mu.Lock()
+	if c.state != StateSynSent && c.state != StateSynRcvd {
+		c.s.mu.Unlock()
+		cb()
+		return
+	}
+	c.estW = append(c.estW, cb)
+	c.s.mu.Unlock()
+}
+
+// Close closes the send direction: queued data is delivered, then a FIN.
+// Reads continue to drain data already received and end at the peer's
+// FIN. Close is idempotent.
+func (c *Conn) Close() {
+	defer c.s.enter()()
+	c.s.mu.Lock()
+	if c.err != nil || c.finQueued || c.state == StateClosed {
+		c.s.mu.Unlock()
+		return
+	}
+	c.finQueued = true
+	var wakes []func()
+	if c.state == StateEstablished || c.state == StateCloseWait {
+		wakes = c.trySendLocked()
+	}
+	c.s.mu.Unlock()
+	runAll(wakes)
+}
+
+// Abort sends an RST and tears the connection down immediately.
+func (c *Conn) Abort() {
+	defer c.s.enter()()
+	c.s.mu.Lock()
+	if c.state == StateClosed {
+		c.s.mu.Unlock()
+		return
+	}
+	rst := &Segment{
+		SrcPort: c.key.localPort, DstPort: c.key.remotePort,
+		Seq: c.sndNxt, Ack: c.rcvNxt, Flags: FlagRST | FlagACK,
+	}
+	c.s.stats.RSTsOut++
+	c.s.host.Send(c.key.remoteAddr, rst.Encode())
+	wakes := c.teardownLocked(ErrClosed)
+	c.s.mu.Unlock()
+	runAll(wakes)
+}
+
+// TryWriteV queues an I/O vector for transmission without copying: the
+// stack takes ownership of the vector's storage, which must not be
+// mutated afterwards. Like TryWrite it may accept a prefix, reporting how
+// many bytes were taken, and returns ErrWouldBlock when the send buffer
+// is full. This is the zero-copy entry point of §5.2.
+func (c *Conn) TryWriteV(v iovec.Vec) (int, error) {
+	defer c.s.enter()()
+	c.s.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.s.mu.Unlock()
+		return 0, err
+	}
+	if c.finQueued || c.finSent {
+		c.s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateSynSent, StateSynRcvd:
+	default:
+		c.s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	space := c.s.cfg.SendBuf - c.sndBuf.Len()
+	if space <= 0 {
+		c.s.mu.Unlock()
+		return 0, ErrWouldBlock
+	}
+	n := v.Len()
+	if n > space {
+		n = space
+	}
+	c.sndBuf = c.sndBuf.Concat(v.Take(n))
+	var wakes []func()
+	if c.state == StateEstablished || c.state == StateCloseWait {
+		wakes = c.trySendLocked()
+	}
+	c.s.mu.Unlock()
+	runAll(wakes)
+	return n, nil
+}

@@ -1,0 +1,54 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"hybrid/internal/netsim"
+)
+
+// TestSingleRequestResponseLatency is a latency regression guard: one
+// request/response exchange of 16 KB over the simulated Ethernet must
+// complete in a handful of milliseconds of virtual time — a stray RTO or
+// a lost wakeup shows up here as a 200ms+ jump.
+func TestSingleRequestResponseLatency(t *testing.T) {
+	w := newWorld(t, netsim.Ethernet100(), Config{})
+	client, server := w.connectPair(t, 80)
+	var events []string
+	var last time.Duration
+	mark := func(s string) {
+		last = time.Duration(w.clk.Now())
+		events = append(events, last.String()+" "+s)
+	}
+	done := make(chan struct{})
+	w.b.Go(func() {
+		buf := make([]byte, 64)
+		n, _ := server.Read(buf)
+		mark("server got request")
+		_ = n
+		server.Write(make([]byte, 16384)) // 16KB response
+		mark("server wrote response")
+	})
+	w.a.Go(func() {
+		client.Write([]byte("GET /x HTTP/1.1\r\n\r\n"))
+		mark("client sent request")
+		buf := make([]byte, 8192)
+		got := 0
+		for got < 16384 {
+			n, err := client.Read(buf)
+			if err != nil || n == 0 {
+				break
+			}
+			got += n
+		}
+		mark("client got response")
+		close(done)
+	})
+	<-done
+	for _, e := range events {
+		t.Log(e)
+	}
+	if last > 10*time.Millisecond {
+		t.Fatalf("16KB request/response took %v of virtual time; a timer is stalling the exchange", last)
+	}
+}

@@ -1,0 +1,169 @@
+// Package tcp is an application-level TCP stack over the simulated packet
+// network, reproducing §4.8 of the paper: "the ability to combine events
+// and threads makes it practical to implement transport protocols like TCP
+// at the application level in an elegant and type-safe way."
+//
+// The paper derives its stack from the HOL specification of TCP; this
+// reproduction implements the same protocol surface from the RFCs it
+// formalizes: the three-way handshake, sliding-window flow control,
+// cumulative acknowledgements with out-of-order reassembly, retransmission
+// with Jacobson/Karn RTT estimation and exponential backoff, fast
+// retransmit on triple duplicate ACKs, slow start and congestion
+// avoidance, zero-window probing, RST handling, and the full close state
+// machine including TIME_WAIT.
+//
+// Structurally it follows the paper's Figure 14: packet-delivery events
+// (worker_tcp_input) and timer events (worker_tcp_timer) drive a pure
+// state machine under the stack's lock, while user threads interact
+// through blocking operations built on the scheduler's Suspend hook.
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hybrid/internal/iovec"
+)
+
+// Flags on a segment.
+type Flags uint8
+
+const (
+	// FlagSYN synchronizes sequence numbers (connection setup).
+	FlagSYN Flags = 1 << iota
+	// FlagACK validates the Ack field.
+	FlagACK
+	// FlagFIN closes the sender's direction.
+	FlagFIN
+	// FlagRST aborts the connection.
+	FlagRST
+)
+
+func (f Flags) String() string {
+	s := ""
+	if f&FlagSYN != 0 {
+		s += "S"
+	}
+	if f&FlagACK != 0 {
+		s += "A"
+	}
+	if f&FlagFIN != 0 {
+		s += "F"
+	}
+	if f&FlagRST != 0 {
+		s += "R"
+	}
+	if s == "" {
+		return "."
+	}
+	return s
+}
+
+// Segment is one TCP segment. Window is 32-bit where real TCP uses a
+// 16-bit field plus window scaling; carrying the scaled value directly is
+// equivalent on the wire we control. Payload is an I/O vector: user data
+// flows from write buffers through retransmission queues to the wire
+// encoder without intermediate copies (§5.2's zero-copy design).
+type Segment struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            Flags
+	Window           uint32
+	Payload          iovec.Vec
+}
+
+// headerSize is the encoded header length.
+const headerSize = 2 + 2 + 4 + 4 + 1 + 4 + 4 + 4 // ports, seq, ack, flags, window, length, checksum
+
+// ErrMalformed reports an undecodable or corrupt segment.
+var ErrMalformed = errors.New("tcp: malformed segment")
+
+// Encode serializes the segment with a checksum; the payload vector is
+// copied exactly once, into the wire buffer.
+func (s *Segment) Encode() []byte {
+	buf := make([]byte, headerSize+s.Payload.Len())
+	binary.BigEndian.PutUint16(buf[0:], s.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:], s.DstPort)
+	binary.BigEndian.PutUint32(buf[4:], s.Seq)
+	binary.BigEndian.PutUint32(buf[8:], s.Ack)
+	buf[12] = byte(s.Flags)
+	binary.BigEndian.PutUint32(buf[13:], s.Window)
+	binary.BigEndian.PutUint32(buf[17:], uint32(s.Payload.Len()))
+	s.Payload.CopyTo(buf[headerSize:])
+	binary.BigEndian.PutUint32(buf[21:], checksum(buf))
+	return buf
+}
+
+// Decode parses and verifies a segment.
+func Decode(buf []byte) (*Segment, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrMalformed, len(buf))
+	}
+	want := binary.BigEndian.Uint32(buf[21:])
+	binary.BigEndian.PutUint32(buf[21:], 0)
+	got := checksum(buf)
+	binary.BigEndian.PutUint32(buf[21:], want)
+	if got != want {
+		return nil, fmt.Errorf("%w: bad checksum", ErrMalformed)
+	}
+	plen := binary.BigEndian.Uint32(buf[17:])
+	if int(plen) != len(buf)-headerSize {
+		return nil, fmt.Errorf("%w: length field %d vs %d", ErrMalformed, plen, len(buf)-headerSize)
+	}
+	s := &Segment{
+		SrcPort: binary.BigEndian.Uint16(buf[0:]),
+		DstPort: binary.BigEndian.Uint16(buf[2:]),
+		Seq:     binary.BigEndian.Uint32(buf[4:]),
+		Ack:     binary.BigEndian.Uint32(buf[8:]),
+		Flags:   Flags(buf[12]),
+		Window:  binary.BigEndian.Uint32(buf[13:]),
+	}
+	if plen > 0 {
+		p := make([]byte, plen)
+		copy(p, buf[headerSize:])
+		s.Payload = iovec.FromBytes(p)
+	}
+	return s, nil
+}
+
+// checksum is a 32-bit Fletcher-style sum over the encoded segment with
+// the checksum field zeroed. The simulated wire does not corrupt bits, but
+// the check guards against stack bugs and documents the real protocol's
+// shape.
+func checksum(buf []byte) uint32 {
+	var a, b uint32 = 1, 0
+	for _, c := range buf {
+		a = (a + uint32(c)) % 65521
+		b = (b + a) % 65521
+	}
+	return b<<16 | a
+}
+
+// seqLen reports how much sequence space the segment occupies (payload
+// plus one for SYN and one for FIN).
+func (s *Segment) seqLen() uint32 {
+	n := uint32(s.Payload.Len())
+	if s.Flags&FlagSYN != 0 {
+		n++
+	}
+	if s.Flags&FlagFIN != 0 {
+		n++
+	}
+	return n
+}
+
+// Sequence-number arithmetic, wraparound-safe (RFC 793 comparisons).
+
+func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+func seqGT(a, b uint32) bool  { return int32(a-b) > 0 }
+func seqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// seqMax returns the later of two sequence numbers.
+func seqMax(a, b uint32) uint32 {
+	if seqGT(a, b) {
+		return a
+	}
+	return b
+}

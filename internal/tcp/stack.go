@@ -1,0 +1,378 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hybrid/internal/iovec"
+	"hybrid/internal/netsim"
+	"hybrid/internal/vclock"
+)
+
+// Errors surfaced to users of the stack.
+var (
+	// ErrWouldBlock reports that a nonblocking operation cannot proceed;
+	// wait on the corresponding ready hook and retry.
+	ErrWouldBlock = errors.New("tcp: operation would block")
+	// ErrConnReset reports an RST from the peer.
+	ErrConnReset = errors.New("tcp: connection reset by peer")
+	// ErrRefused reports that the remote had no listener on the port.
+	ErrRefused = errors.New("tcp: connection refused")
+	// ErrTimeout reports that retransmission gave up.
+	ErrTimeout = errors.New("tcp: connection timed out")
+	// ErrClosed reports use of a closed connection or listener.
+	ErrClosed = errors.New("tcp: use of closed connection")
+	// ErrAddrInUse reports a duplicate listen port.
+	ErrAddrInUse = errors.New("tcp: port already in use")
+)
+
+// Config tunes the stack.
+type Config struct {
+	// MSS is the maximum segment payload. Default 1460.
+	MSS int
+	// SendBuf and RecvBuf bound per-connection buffering. Default 64 KB.
+	SendBuf, RecvBuf int
+	// InitialRTO, RTOMin, RTOMax bound the retransmission timer.
+	// Defaults 1s / 200ms / 60s (RFC 6298).
+	InitialRTO, RTOMin, RTOMax time.Duration
+	// MSL is the maximum segment lifetime; TIME_WAIT lasts 2*MSL.
+	// Default 30s.
+	MSL time.Duration
+	// MaxRetries bounds consecutive retransmissions of one segment
+	// before the connection errors with ErrTimeout. Default 8.
+	MaxRetries int
+	// InitialCwnd is the initial congestion window in segments.
+	// Default 2.
+	InitialCwnd int
+	// DelayedAck, when nonzero, delays pure ACKs by up to this duration:
+	// every second data segment, out-of-order arrivals, and FINs are
+	// still acknowledged immediately (RFC 1122 §4.2.3.2). Zero keeps the
+	// stack's default of immediate ACKs.
+	DelayedAck time.Duration
+	// Nagle enables RFC 896 small-segment coalescing: a sub-MSS segment
+	// is held back while unacknowledged data is in flight. Off by
+	// default (the latency-sensitive configuration).
+	Nagle bool
+	// Backlog caps, per listener, connections that are mid-handshake or
+	// accepted-but-unclaimed; SYNs beyond it are dropped (the client
+	// retries, as under SYN-queue pressure on a real stack). Default 128.
+	Backlog int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS <= 0 {
+		c.MSS = 1460
+	}
+	if c.SendBuf <= 0 {
+		c.SendBuf = 64 * 1024
+	}
+	if c.RecvBuf <= 0 {
+		c.RecvBuf = 64 * 1024
+	}
+	if c.InitialRTO <= 0 {
+		c.InitialRTO = time.Second
+	}
+	if c.RTOMin <= 0 {
+		c.RTOMin = 200 * time.Millisecond
+	}
+	if c.RTOMax <= 0 {
+		c.RTOMax = 60 * time.Second
+	}
+	if c.MSL <= 0 {
+		c.MSL = 30 * time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 8
+	}
+	if c.InitialCwnd <= 0 {
+		c.InitialCwnd = 2
+	}
+	if c.Backlog <= 0 {
+		c.Backlog = 128
+	}
+	return c
+}
+
+// connKey identifies a connection from the local stack's viewpoint.
+type connKey struct {
+	localPort  uint16
+	remoteAddr string
+	remotePort uint16
+}
+
+func (k connKey) String() string {
+	return fmt.Sprintf(":%d<->%s:%d", k.localPort, k.remoteAddr, k.remotePort)
+}
+
+// Stats counts stack activity.
+type Stats struct {
+	SegsIn, SegsOut          uint64
+	Retransmits              uint64
+	FastRetransmits          uint64
+	DupAcksIn                uint64
+	OutOfOrderIn             uint64
+	RSTsIn, RSTsOut          uint64
+	BadSegments              uint64
+	BytesIn, BytesOut        uint64
+	ConnsOpened, ConnsClosed uint64
+	SynsDropped              uint64
+}
+
+// Stack is one host's TCP instance, bound to a netsim host. All protocol
+// state is guarded by one lock; packet events, timer events, and user
+// calls serialize on it (the paper runs these as separate event loops
+// around its scheduler — the serialization point here is explicit).
+type Stack struct {
+	cfg   Config
+	host  *netsim.Host
+	clock vclock.Clock
+
+	mu        sync.Mutex
+	conns     map[connKey]*Conn
+	listeners map[uint16]*Listener
+	nextPort  uint16
+	issNext   uint32
+	stats     Stats
+}
+
+// NewStack attaches a TCP stack to a netsim host.
+func NewStack(host *netsim.Host, cfg Config) *Stack {
+	s := &Stack{
+		cfg:       cfg.withDefaults(),
+		host:      host,
+		clock:     host.Clock(),
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[uint16]*Listener),
+		nextPort:  49152,
+		issNext:   1,
+	}
+	host.SetHandler(s.input)
+	return s
+}
+
+// Addr reports the stack's host address.
+func (s *Stack) Addr() string { return s.host.Addr() }
+
+// Snapshot returns a copy of the stack's counters.
+func (s *Stack) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// allocPortLocked returns a free ephemeral port.
+func (s *Stack) allocPortLocked(remoteAddr string, remotePort uint16) (uint16, error) {
+	for tries := 0; tries < 16384; tries++ {
+		p := s.nextPort
+		s.nextPort++
+		if s.nextPort == 0 {
+			s.nextPort = 49152
+		}
+		if _, usedL := s.listeners[p]; usedL {
+			continue
+		}
+		if _, usedC := s.conns[connKey{p, remoteAddr, remotePort}]; usedC {
+			continue
+		}
+		return p, nil
+	}
+	return 0, errors.New("tcp: ephemeral ports exhausted")
+}
+
+// input is the packet-arrival event handler (worker_tcp_input): decode,
+// demux to a connection or listener, and run the state machine.
+func (s *Stack) input(src string, data []byte) {
+	seg, err := Decode(data)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.BadSegments++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.stats.SegsIn++
+	s.stats.BytesIn += uint64(seg.Payload.Len())
+	key := connKey{seg.DstPort, src, seg.SrcPort}
+	if c, ok := s.conns[key]; ok {
+		wakes := c.processLocked(seg)
+		s.mu.Unlock()
+		runAll(wakes)
+		return
+	}
+	// No connection: a SYN may create one via a listener, subject to the
+	// listener's backlog of embryonic plus unaccepted connections.
+	if seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK == 0 {
+		if l, ok := s.listeners[seg.DstPort]; ok && !l.closed {
+			if l.pending+len(l.backlog) >= s.cfg.Backlog {
+				s.stats.SynsDropped++
+				s.mu.Unlock()
+				return
+			}
+			l.pending++
+			c := s.newConnLocked(key, StateSynRcvd)
+			c.irs = seg.Seq
+			c.rcvNxt = seg.Seq + 1
+			c.sndWnd = seg.Window
+			c.listener = l
+			c.sendSegLocked(FlagSYN|FlagACK, iovec.Vec{}, true)
+			s.mu.Unlock()
+			return
+		}
+	}
+	// Otherwise: RST in response to anything but an RST.
+	if seg.Flags&FlagRST == 0 {
+		s.stats.RSTsOut++
+		rst := &Segment{
+			SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+			Seq: seg.Ack, Ack: seg.Seq + seg.seqLen(), Flags: FlagRST | FlagACK,
+		}
+		s.mu.Unlock()
+		s.host.Send(src, rst.Encode())
+		return
+	}
+	s.mu.Unlock()
+}
+
+// runAll invokes deferred wakeups outside the stack lock.
+func runAll(fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// newConnLocked creates and registers a connection.
+func (s *Stack) newConnLocked(key connKey, st State) *Conn {
+	c := &Conn{
+		s:        s,
+		key:      key,
+		state:    st,
+		iss:      s.issNext,
+		cwnd:     uint32(s.cfg.InitialCwnd * s.cfg.MSS),
+		ssthresh: 1 << 30,
+		rto:      s.cfg.InitialRTO,
+		ooo:      make(map[uint32]iovec.Vec),
+	}
+	s.issNext += 64 * 1024 // deterministic, well-separated ISNs
+	c.sndUna = c.iss
+	c.sndNxt = c.iss
+	s.conns[key] = c
+	s.stats.ConnsOpened++
+	return c
+}
+
+// removeConnLocked unregisters a connection.
+func (s *Stack) removeConnLocked(c *Conn) {
+	if _, ok := s.conns[c.key]; ok {
+		delete(s.conns, c.key)
+		s.stats.ConnsClosed++
+	}
+}
+
+// Connect starts an active open to addr:port and returns the connection
+// in SYN_SENT; wait for establishment with OnEstablished (or the monadic
+// Connect wrapper).
+func (s *Stack) Connect(addr string, port uint16) (*Conn, error) {
+	defer s.enter()()
+	s.mu.Lock()
+	lp, err := s.allocPortLocked(addr, port)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	c := s.newConnLocked(connKey{lp, addr, port}, StateSynSent)
+	c.sendSegLocked(FlagSYN, iovec.Vec{}, true)
+	s.mu.Unlock()
+	return c, nil
+}
+
+// Listen opens a passive socket on port.
+func (s *Stack) Listen(port uint16) (*Listener, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.listeners[port]; dup {
+		return nil, fmt.Errorf("port %d: %w", port, ErrAddrInUse)
+	}
+	l := &Listener{s: s, port: port}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// Listener is a passive socket.
+type Listener struct {
+	s       *Stack
+	port    uint16
+	backlog []*Conn // established, unaccepted
+	pending int     // embryonic (SYN_RCVD) connections
+	waiters []func()
+	closed  bool
+}
+
+// Port reports the listening port.
+func (l *Listener) Port() uint16 { return l.port }
+
+// TryAccept returns an established connection or ErrWouldBlock.
+func (l *Listener) TryAccept() (*Conn, error) {
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if len(l.backlog) == 0 {
+		return nil, ErrWouldBlock
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return c, nil
+}
+
+// OnAcceptable registers a one-shot callback for when TryAccept may
+// succeed (a connection is pending or the listener closed).
+func (l *Listener) OnAcceptable(cb func()) {
+	l.s.mu.Lock()
+	if l.closed || len(l.backlog) > 0 {
+		l.s.mu.Unlock()
+		cb()
+		return
+	}
+	l.waiters = append(l.waiters, cb)
+	l.s.mu.Unlock()
+}
+
+// Close shuts the listener; pending and future accepts fail with
+// ErrClosed. Established connections are unaffected.
+func (l *Listener) Close() {
+	l.s.mu.Lock()
+	l.closed = true
+	delete(l.s.listeners, l.port)
+	waiters := l.waiters
+	l.waiters = nil
+	l.s.mu.Unlock()
+	runAll(waiters)
+}
+
+// deliverLocked queues an established connection on the backlog.
+func (l *Listener) deliverLocked(c *Conn) (wakes []func()) {
+	if l.closed {
+		return nil
+	}
+	l.backlog = append(l.backlog, c)
+	wakes = l.waiters
+	l.waiters = nil
+	return wakes
+}
+
+// Re-entrancy note: netsim.Send schedules events on the clock and, when
+// the busy count is zero, the clock advances synchronously — which would
+// run packet handlers that re-enter this stack's lock. Every path that
+// sends while holding s.mu therefore runs with the clock held busy:
+// packet and timer handlers hold it by construction (clock callbacks),
+// and the public user entry points bracket themselves with
+// s.clock.Enter() / Exit() via the enter helper.
+func (s *Stack) enter() func() {
+	s.clock.Enter()
+	return s.clock.Exit
+}
+
+var _ = vclock.Time(0) // vclock types appear in conn.go's timer fields

@@ -1,0 +1,384 @@
+// Package udp is the datagram half of the application-level network stack.
+// The HOL specification the paper derives its transport code from covers
+// "TCP, UDP, and sockets" (§4.8, citing Bishop et al.); this package
+// implements the UDP side over the same simulated network: unreliable,
+// unordered, message-boundary-preserving sockets with bounded receive
+// queues, exposed through the same pattern of nonblocking operations plus
+// ready hooks, with monadic and blocking wrappers.
+//
+// One stack owns one netsim host (the kernel owns protocol demux on a real
+// NIC; simulated hosts are cheap, so a UDP stack and a TCP stack live on
+// separate hosts).
+package udp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"hybrid/internal/core"
+	"hybrid/internal/netsim"
+	"hybrid/internal/vclock"
+)
+
+// Errors.
+var (
+	// ErrWouldBlock reports an empty receive queue.
+	ErrWouldBlock = errors.New("udp: operation would block")
+	// ErrClosed reports use of a closed socket.
+	ErrClosed = errors.New("udp: use of closed socket")
+	// ErrAddrInUse reports a duplicate bind.
+	ErrAddrInUse = errors.New("udp: port already in use")
+	// ErrTooLong reports a payload over the maximum datagram size.
+	ErrTooLong = errors.New("udp: datagram too long")
+	// ErrMalformed reports an undecodable datagram.
+	ErrMalformed = errors.New("udp: malformed datagram")
+)
+
+// MaxDatagram bounds a payload (a classic UDP-over-Ethernet-ish limit;
+// there is no fragmentation in this stack).
+const MaxDatagram = 8192
+
+const headerSize = 2 + 2 + 2 + 4 // ports, length, checksum
+
+// Addr identifies a datagram's source.
+type Addr struct {
+	Host string
+	Port uint16
+}
+
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
+
+// encode serializes a datagram.
+func encode(srcPort, dstPort uint16, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	binary.BigEndian.PutUint16(buf[0:], srcPort)
+	binary.BigEndian.PutUint16(buf[2:], dstPort)
+	binary.BigEndian.PutUint16(buf[4:], uint16(len(payload)))
+	copy(buf[headerSize:], payload)
+	binary.BigEndian.PutUint32(buf[6:], checksum(buf))
+	return buf
+}
+
+// decode parses and verifies a datagram.
+func decode(buf []byte) (srcPort, dstPort uint16, payload []byte, err error) {
+	if len(buf) < headerSize {
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrMalformed, len(buf))
+	}
+	want := binary.BigEndian.Uint32(buf[6:])
+	binary.BigEndian.PutUint32(buf[6:], 0)
+	got := checksum(buf)
+	binary.BigEndian.PutUint32(buf[6:], want)
+	if got != want {
+		return 0, 0, nil, fmt.Errorf("%w: bad checksum", ErrMalformed)
+	}
+	n := int(binary.BigEndian.Uint16(buf[4:]))
+	if n != len(buf)-headerSize {
+		return 0, 0, nil, fmt.Errorf("%w: length %d vs %d", ErrMalformed, n, len(buf)-headerSize)
+	}
+	payload = make([]byte, n)
+	copy(payload, buf[headerSize:])
+	return binary.BigEndian.Uint16(buf[0:]), binary.BigEndian.Uint16(buf[2:]), payload, nil
+}
+
+func checksum(buf []byte) uint32 {
+	var a, b uint32 = 1, 0
+	for _, c := range buf {
+		a = (a + uint32(c)) % 65521
+		b = (b + a) % 65521
+	}
+	return b<<16 | a
+}
+
+// Stats counts stack activity.
+type Stats struct {
+	DatagramsIn, DatagramsOut uint64
+	Dropped                   uint64 // queue-full or unbound-port arrivals
+	Bad                       uint64
+}
+
+// Stack is one host's UDP instance.
+type Stack struct {
+	host  *netsim.Host
+	clock vclock.Clock
+
+	mu       sync.Mutex
+	socks    map[uint16]*Socket
+	nextPort uint16
+	stats    Stats
+}
+
+// NewStack attaches a UDP stack to a netsim host.
+func NewStack(host *netsim.Host) *Stack {
+	s := &Stack{
+		host:     host,
+		clock:    host.Clock(),
+		socks:    make(map[uint16]*Socket),
+		nextPort: 49152,
+	}
+	host.SetHandler(s.input)
+	return s
+}
+
+// Addr reports the stack's host address.
+func (s *Stack) Addr() string { return s.host.Addr() }
+
+// Snapshot returns a copy of the stack's counters.
+func (s *Stack) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// input is the datagram-arrival event handler.
+func (s *Stack) input(src string, data []byte) {
+	srcPort, dstPort, payload, err := decode(data)
+	s.mu.Lock()
+	if err != nil {
+		s.stats.Bad++
+		s.mu.Unlock()
+		return
+	}
+	s.stats.DatagramsIn++
+	sock := s.socks[dstPort]
+	if sock == nil {
+		s.stats.Dropped++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	sock.mu.Lock()
+	if sock.closed || len(sock.queue) >= sock.queueCap {
+		sock.mu.Unlock()
+		s.mu.Lock()
+		s.stats.Dropped++
+		s.mu.Unlock()
+		return
+	}
+	sock.queue = append(sock.queue, packet{from: Addr{Host: src, Port: srcPort}, data: payload})
+	waiters := sock.waiters
+	sock.waiters = nil
+	sock.mu.Unlock()
+	for _, w := range waiters {
+		w()
+	}
+}
+
+// Bind opens a socket on the given port (0 picks an ephemeral port).
+func (s *Stack) Bind(port uint16) (*Socket, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if port == 0 {
+		for tries := 0; tries < 16384; tries++ {
+			p := s.nextPort
+			s.nextPort++
+			if s.nextPort == 0 {
+				s.nextPort = 49152
+			}
+			if _, used := s.socks[p]; !used {
+				port = p
+				break
+			}
+		}
+		if port == 0 {
+			return nil, errors.New("udp: ephemeral ports exhausted")
+		}
+	} else if _, used := s.socks[port]; used {
+		return nil, fmt.Errorf("port %d: %w", port, ErrAddrInUse)
+	}
+	sock := &Socket{s: s, port: port, queueCap: 128}
+	s.socks[port] = sock
+	return sock, nil
+}
+
+// packet is one queued datagram.
+type packet struct {
+	from Addr
+	data []byte
+}
+
+// Socket is a bound UDP socket: a bounded FIFO of received datagrams.
+// Arrivals beyond the queue capacity are dropped, as real UDP drops.
+type Socket struct {
+	s        *Stack
+	port     uint16
+	mu       sync.Mutex
+	queue    []packet
+	queueCap int
+	waiters  []func()
+	closed   bool
+}
+
+// Port reports the bound port.
+func (k *Socket) Port() uint16 { return k.port }
+
+// SetQueueCap adjusts the receive queue bound (default 128 datagrams).
+func (k *Socket) SetQueueCap(n int) {
+	k.mu.Lock()
+	if n > 0 {
+		k.queueCap = n
+	}
+	k.mu.Unlock()
+}
+
+// SendTo transmits one datagram. Delivery is unreliable and unordered;
+// there is no error for loss, as with the real thing.
+func (k *Socket) SendTo(addr string, port uint16, p []byte) error {
+	if len(p) > MaxDatagram {
+		return fmt.Errorf("%w: %d bytes", ErrTooLong, len(p))
+	}
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return ErrClosed
+	}
+	k.mu.Unlock()
+	k.s.mu.Lock()
+	k.s.stats.DatagramsOut++
+	k.s.mu.Unlock()
+	// Hold the clock across the send so a quiescent virtual clock cannot
+	// advance mid-operation (see tcp.Stack.enter for the same pattern).
+	k.s.clock.Enter()
+	k.s.host.Send(addr, encode(k.port, port, p))
+	k.s.clock.Exit()
+	return nil
+}
+
+// TryRecvFrom dequeues one datagram into p, returning its size and
+// source, or ErrWouldBlock when the queue is empty. A datagram longer
+// than p is truncated (message boundaries are preserved, the tail is
+// lost — recvfrom semantics).
+func (k *Socket) TryRecvFrom(p []byte) (int, Addr, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return 0, Addr{}, ErrClosed
+	}
+	if len(k.queue) == 0 {
+		return 0, Addr{}, ErrWouldBlock
+	}
+	pkt := k.queue[0]
+	k.queue = k.queue[1:]
+	n := copy(p, pkt.data)
+	return n, pkt.from, nil
+}
+
+// OnRecvReady registers a one-shot callback for when TryRecvFrom may
+// succeed.
+func (k *Socket) OnRecvReady(cb func()) {
+	k.mu.Lock()
+	if k.closed || len(k.queue) > 0 {
+		k.mu.Unlock()
+		cb()
+		return
+	}
+	k.waiters = append(k.waiters, cb)
+	k.mu.Unlock()
+}
+
+// Close unbinds the socket and wakes blocked receivers with ErrClosed.
+func (k *Socket) Close() {
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return
+	}
+	k.closed = true
+	waiters := k.waiters
+	k.waiters = nil
+	k.mu.Unlock()
+	k.s.mu.Lock()
+	delete(k.s.socks, k.port)
+	k.s.mu.Unlock()
+	for _, w := range waiters {
+		w()
+	}
+}
+
+// Pending reports queued datagrams (diagnostics).
+func (k *Socket) Pending() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.queue)
+}
+
+// ---------------------------------------------------------------------------
+// Monadic and blocking wrappers, in the Figure 10 style.
+// ---------------------------------------------------------------------------
+
+// RecvResult is one received datagram's metadata.
+type RecvResult struct {
+	N    int
+	From Addr
+}
+
+// RecvFromM receives one datagram, parking the thread until one arrives.
+func (k *Socket) RecvFromM(p []byte) core.M[RecvResult] {
+	var try func() core.M[RecvResult]
+	try = func() core.M[RecvResult] {
+		return core.Bind(
+			core.NBIO(func() (r struct {
+				RecvResult
+				err error
+			}) {
+				r.N, r.From, r.err = k.TryRecvFrom(p)
+				return r
+			}),
+			func(r struct {
+				RecvResult
+				err error
+			}) core.M[RecvResult] {
+				if errors.Is(r.err, ErrWouldBlock) {
+					return core.Then(
+						core.Suspend(func(resume func(core.Unit)) {
+							k.OnRecvReady(func() { resume(core.Unit{}) })
+						}),
+						try(),
+					)
+				}
+				if r.err != nil {
+					return core.Throw[RecvResult](r.err)
+				}
+				return core.Return(r.RecvResult)
+			},
+		)
+	}
+	return try()
+}
+
+// SendToM transmits one datagram from a monadic thread.
+func (k *Socket) SendToM(addr string, port uint16, p []byte) core.M[core.Unit] {
+	return core.NBIOe(func() (core.Unit, error) {
+		return core.Unit{}, k.SendTo(addr, port, p)
+	})
+}
+
+// RecvFrom blocks the calling goroutine until a datagram arrives
+// (Stack.Go-style clock discipline applies on a virtual clock).
+func (k *Socket) RecvFrom(p []byte) (int, Addr, error) {
+	for {
+		n, from, err := k.TryRecvFrom(p)
+		if !errors.Is(err, ErrWouldBlock) {
+			return n, from, err
+		}
+		ch := make(chan struct{})
+		k.OnRecvReady(func() {
+			k.s.clock.Enter()
+			close(ch)
+		})
+		k.s.clock.Exit()
+		<-ch
+	}
+}
+
+// Go runs fn on a goroutine registered with the stack's clock, for use
+// with the blocking API under virtual time.
+func (s *Stack) Go(fn func()) {
+	s.clock.Enter()
+	go func() {
+		defer s.clock.Exit()
+		fn()
+	}()
+}

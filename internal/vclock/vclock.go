@@ -1,0 +1,278 @@
+// Package vclock provides the two timing domains used by the runtime and
+// the simulated OS kernel: real wall-clock time and deterministic virtual
+// (discrete-event) time.
+//
+// The paper's evaluation mixes CPU-bound benchmarks (measured in wall-clock
+// time) with I/O-bound benchmarks whose results are dominated by device
+// latencies (disk seeks, network transfers). The original experiments used
+// 2006 hardware; this reproduction replaces the devices with models that
+// schedule completion events on a Clock. A VirtualClock advances only when
+// every runnable activity in the system has quiesced, which makes the
+// I/O-bound experiments deterministic and host-independent.
+//
+// Ownership discipline: the clock maintains a "busy" count of runnable
+// activities. Time may only advance when busy == 0. Any component that
+// hands work to another component transfers ownership of a busy hold:
+// the sender calls Enter before publishing the work and the receiver calls
+// Exit once the work has either completed or been re-registered (for
+// example as a pending device event). Event callbacks scheduled with After
+// run while the clock holds busy on their behalf, so a callback that wakes
+// a thread can safely transfer that hold to the thread it wakes.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Time is a point in simulated or real time, in nanoseconds from an
+// arbitrary epoch (the creation of the clock).
+type Time int64
+
+// Duration is a span of time in nanoseconds. It converts directly to and
+// from time.Duration.
+type Duration = time.Duration
+
+// Clock abstracts over real and virtual time. Device models (disk,
+// network) and runtimes are written against this interface so the same
+// code runs in both timing domains.
+type Clock interface {
+	// Now reports the current time.
+	Now() Time
+	// Enter declares one more runnable activity. Virtual time cannot
+	// advance while any activity is runnable.
+	Enter()
+	// Exit declares that a runnable activity has quiesced. On a virtual
+	// clock, the call that drops the count to zero advances time to the
+	// next pending event and runs its callbacks.
+	Exit()
+	// After schedules fn to run d from now. The callback runs with a busy
+	// hold on its behalf; if it hands work onward it must transfer that
+	// hold (Enter before publishing) because the hold is released when fn
+	// returns.
+	After(d Duration, fn func()) *Timer
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	owner   timerOwner
+	when    Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int // heap index; -1 when not in the heap
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// timer was stopped before firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.owner == nil {
+		return false
+	}
+	switch o := t.owner.(type) {
+	case *VirtualClock:
+		return o.stopTimer(t)
+	case *realTimer:
+		return o.t.Stop()
+	}
+	return false
+}
+
+// timerOwner points back at whichever clock created the timer so Stop can
+// dispatch without the caller caring which domain it is in.
+type timerOwner interface{ isTimerOwner() }
+
+func (*VirtualClock) isTimerOwner() {}
+
+type realTimer struct{ t *time.Timer }
+
+func (*realTimer) isTimerOwner() {}
+
+// ---------------------------------------------------------------------------
+// Virtual clock
+// ---------------------------------------------------------------------------
+
+// VirtualClock is a discrete-event simulation clock. Time advances in
+// jumps to the next scheduled event, and only when the busy count is zero.
+type VirtualClock struct {
+	mu      sync.Mutex
+	now     Time
+	busy    int64
+	seq     uint64
+	events  eventHeap
+	running bool // an advance loop is executing callbacks
+
+	// OnIdle, if non-nil, is invoked (with the clock unlocked) when the
+	// busy count reaches zero and no events are pending. This usually
+	// indicates deadlock in a simulation and is invaluable in tests.
+	OnIdle func()
+}
+
+// NewVirtual returns a virtual clock at time zero.
+func NewVirtual() *VirtualClock { return &VirtualClock{} }
+
+// Now reports the current virtual time.
+func (c *VirtualClock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Enter increments the busy count.
+func (c *VirtualClock) Enter() {
+	c.mu.Lock()
+	c.busy++
+	c.mu.Unlock()
+}
+
+// Exit decrements the busy count and, if it reaches zero, advances time.
+func (c *VirtualClock) Exit() {
+	c.mu.Lock()
+	c.busy--
+	if c.busy < 0 {
+		c.mu.Unlock()
+		panic("vclock: Exit without matching Enter")
+	}
+	c.advanceLocked()
+	c.mu.Unlock()
+}
+
+// After schedules fn to run at Now()+d. The callback runs with a busy
+// hold taken on its behalf.
+func (c *VirtualClock) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	c.seq++
+	t := &Timer{owner: c, when: c.now + Time(d), seq: c.seq, fn: fn, index: -1}
+	heap.Push(&c.events, t)
+	// If the system is already quiescent, this event is immediately due
+	// to advance.
+	c.advanceLocked()
+	c.mu.Unlock()
+	return t
+}
+
+func (c *VirtualClock) stopTimer(t *Timer) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.stopped || t.index < 0 {
+		return false
+	}
+	heap.Remove(&c.events, t.index)
+	t.stopped = true
+	return true
+}
+
+// advanceLocked runs due events while the system is quiescent. Called
+// with c.mu held; temporarily unlocks around callbacks.
+func (c *VirtualClock) advanceLocked() {
+	if c.running {
+		// A callback is already being dispatched higher in the stack;
+		// it will observe any new state when it finishes.
+		return
+	}
+	c.running = true
+	for c.busy == 0 && len(c.events) > 0 {
+		t := heap.Pop(&c.events).(*Timer)
+		if t.when > c.now {
+			c.now = t.when
+		}
+		// Run the callback with a busy hold on its behalf so nested
+		// Exit calls cannot re-enter the advance loop concurrently.
+		c.busy++
+		c.mu.Unlock()
+		t.fn()
+		c.mu.Lock()
+		c.busy--
+	}
+	c.running = false
+	if c.busy == 0 && len(c.events) == 0 && c.OnIdle != nil {
+		fn := c.OnIdle
+		c.mu.Unlock()
+		fn()
+		c.mu.Lock()
+	}
+}
+
+// Pending reports the number of scheduled, unfired events. Intended for
+// tests and deadlock reports.
+func (c *VirtualClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Busy reports the current busy count. Intended for tests.
+func (c *VirtualClock) Busy() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.busy
+}
+
+// eventHeap is a min-heap ordered by (when, seq) so simultaneous events
+// fire in scheduling order, which keeps simulations deterministic.
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Real clock
+// ---------------------------------------------------------------------------
+
+// RealClock measures wall-clock time. Enter and Exit are no-ops: in the
+// real domain, time advances regardless of what the program does.
+type RealClock struct {
+	start time.Time
+	seq   atomic.Uint64
+}
+
+// NewReal returns a wall-clock Clock with its epoch at the call.
+func NewReal() *RealClock { return &RealClock{start: time.Now()} }
+
+// Now reports nanoseconds since the clock was created.
+func (c *RealClock) Now() Time { return Time(time.Since(c.start)) }
+
+// Enter is a no-op on a real clock.
+func (c *RealClock) Enter() {}
+
+// Exit is a no-op on a real clock.
+func (c *RealClock) Exit() {}
+
+// After schedules fn on a new goroutine after d of wall-clock time.
+func (c *RealClock) After(d Duration, fn func()) *Timer {
+	rt := &realTimer{}
+	rt.t = time.AfterFunc(d, fn)
+	return &Timer{owner: rt}
+}
+
+func (t Time) String() string { return fmt.Sprintf("t+%s", time.Duration(t)) }
