@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: tier1 build vet test race
+
+# tier1 is the repository's gate: everything must build, vet clean, and
+# pass tests, with the race detector over the concurrency-heavy packages.
+tier1: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/stm/...

@@ -16,6 +16,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced read volume (shape only)")
 	maxThreads := flag.Int("max-threads", 65536, "largest thread count")
+	emitStats := flag.Bool("stats", false, "emit a JSON stats block per hybrid run")
 	flag.Parse()
 
 	cfg := bench.DefaultFig17()
@@ -29,6 +30,25 @@ func main() {
 	fmt.Println("Figure 17: disk head scheduling (throughput vs working threads)")
 	fmt.Printf("file=%dMB total-read=%dMB block=%dB\n\n",
 		cfg.FileBytes>>20, cfg.TotalReadBytes>>20, cfg.BlockBytes)
-	pts := bench.Fig17(cfg, counts)
+	if !*emitStats {
+		pts := bench.Fig17(cfg, counts)
+		bench.PrintSeries(os.Stdout, "threads", pts, "Hybrid (AIO)", "NPTL (pread)")
+		return
+	}
+	pts := make([]bench.Point, 0, len(counts))
+	runs := make([]bench.RunStats, 0, len(counts))
+	for _, n := range counts {
+		mbps, snap := bench.Fig17HybridStats(cfg, n)
+		pts = append(pts, bench.Point{X: n, Hybrid: mbps, NPTL: bench.Fig17NPTL(cfg, n)})
+		runs = append(runs, bench.RunStats{
+			Figure: "fig17", System: "hybrid", X: n, MBps: mbps, Stats: snap,
+		})
+	}
 	bench.PrintSeries(os.Stdout, "threads", pts, "Hybrid (AIO)", "NPTL (pread)")
+	fmt.Println()
+	for _, rs := range runs {
+		if err := bench.WriteRunStats(os.Stdout, rs); err != nil {
+			panic(err)
+		}
+	}
 }

@@ -18,6 +18,7 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller fileset and request count")
 	cached := flag.Bool("cached", false, "mostly-cached working set (§5.2 text)")
 	maxConns := flag.Int("max-conns", 1024, "largest connection count")
+	emitStats := flag.Bool("stats", false, "emit a JSON stats block per hybrid run")
 	flag.Parse()
 
 	cfg := bench.DefaultFig19()
@@ -36,6 +37,25 @@ func main() {
 	fmt.Printf("Figure 19: web server under %s load (throughput vs connections)\n", label)
 	fmt.Printf("files=%d×%dKB cache=%dMB requests=%d\n\n",
 		cfg.Files, cfg.FileBytes>>10, cfg.CacheBytes>>20, cfg.TotalRequests)
-	pts := bench.Fig19(cfg, counts)
+	if !*emitStats {
+		pts := bench.Fig19(cfg, counts)
+		bench.PrintSeries(os.Stdout, "connections", pts, "Hybrid server", "Apache-like")
+		return
+	}
+	pts := make([]bench.Point, 0, len(counts))
+	runs := make([]bench.RunStats, 0, len(counts))
+	for _, n := range counts {
+		mbps, snap := bench.Fig19HybridStats(cfg, n)
+		pts = append(pts, bench.Point{X: n, Hybrid: mbps, NPTL: bench.Fig19Apache(cfg, n)})
+		runs = append(runs, bench.RunStats{
+			Figure: "fig19", System: "hybrid", X: n, MBps: mbps, Stats: snap,
+		})
+	}
 	bench.PrintSeries(os.Stdout, "connections", pts, "Hybrid server", "Apache-like")
+	fmt.Println()
+	for _, rs := range runs {
+		if err := bench.WriteRunStats(os.Stdout, rs); err != nil {
+			panic(err)
+		}
+	}
 }

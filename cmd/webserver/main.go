@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"hybrid/internal/kernel"
 	"hybrid/internal/loadgen"
 	"hybrid/internal/netsim"
+	"hybrid/internal/stats"
 	"hybrid/internal/tcp"
 	"hybrid/internal/vclock"
 )
@@ -30,6 +32,7 @@ func main() {
 	conns := flag.Int("conns", 128, "concurrent client connections")
 	requests := flag.Int("requests", 4096, "total requests")
 	useTCP := flag.Bool("tcp", false, "serve over the application-level TCP stack")
+	emitStats := flag.Bool("stats", false, "dump the merged metrics snapshot as JSON")
 	flag.Parse()
 
 	clk := vclock.NewVirtual()
@@ -48,7 +51,7 @@ func main() {
 	if *useTCP {
 		// One-line transport switch: the same server over TCP/netsim,
 		// driven by monadic clients speaking HTTP over the same stack.
-		runOverTCP(clk, rt, srv, *files, *conns, *requests)
+		runOverTCP(clk, rt, srv, *files, *conns, *requests, *emitStats)
 		return
 	}
 
@@ -79,11 +82,22 @@ func main() {
 		hits, misses, 100*float64(hits)/float64(hits+misses))
 	fmt.Printf("disk:            %d requests, mean queue %.1f, head moved %d blocks\n",
 		d.Requests, float64(d.TotalQueue)/float64(max64(1, d.Dispatches)), d.SeekBlocks)
+	if *emitStats {
+		snap := stats.Snapshot{}
+		snap.Merge("sched", rt.Stats().Snapshot())
+		snap.Merge("kernel", k.Metrics().Snapshot())
+		snap.Merge("disk", fs.Disk().Metrics().Snapshot())
+		snap.Merge("httpd", srv.Metrics().Snapshot())
+		fmt.Println()
+		if err := snap.WriteJSON(os.Stdout); err != nil {
+			panic(err)
+		}
+	}
 }
 
 // runOverTCP serves and loads the same HTTP workload across the
 // application-level TCP stack on a simulated Ethernet.
-func runOverTCP(clk *vclock.VirtualClock, rt *core.Runtime, srv *httpd.Server, files, conns, requests int) {
+func runOverTCP(clk *vclock.VirtualClock, rt *core.Runtime, srv *httpd.Server, files, conns, requests int, emitStats bool) {
 	net := netsim.New(clk, 1)
 	hostS, err := net.Host("server", netsim.Ethernet100())
 	if err != nil {
@@ -202,6 +216,16 @@ func runOverTCP(clk *vclock.VirtualClock, rt *core.Runtime, srv *httpd.Server, f
 		float64(bytes)/(1<<20)/elapsed.Seconds())
 	fmt.Printf("tcp (server):    %d segs out, %d retransmits, %d conns\n",
 		ss.SegsOut, ss.Retransmits+ss.FastRetransmits, ss.ConnsOpened)
+	if emitStats {
+		snap := stats.Snapshot{}
+		snap.Merge("sched", rt.Stats().Snapshot())
+		snap.Merge("tcp", stackS.Metrics().Snapshot())
+		snap.Merge("httpd", srv.Metrics().Snapshot())
+		fmt.Println()
+		if err := snap.WriteJSON(os.Stdout); err != nil {
+			panic(err)
+		}
+	}
 }
 
 func max(a, b int) int {

@@ -28,6 +28,7 @@ package hybrid
 
 import (
 	"hybrid/internal/core"
+	"hybrid/internal/stats"
 	"hybrid/internal/vclock"
 )
 
@@ -49,6 +50,19 @@ type (
 	// PanicError wraps a Go panic trapped inside a thread effect.
 	PanicError = core.PanicError
 )
+
+// Observability (the stats layer; see Runtime.Stats).
+type (
+	// Stats is a registry of a subsystem's metrics.
+	Stats = stats.Registry
+	// StatsSnapshot is a frozen, mergeable view of one or more
+	// registries, serializable with WriteJSON.
+	StatsSnapshot = stats.Snapshot
+)
+
+// BlioInline disables the blocking-I/O worker pool: Blio effects run
+// inline on the scheduler's event loop (Options.BlioWorkers sentinel).
+const BlioInline = core.BlioInline
 
 // Clock abstractions (real and virtual time domains).
 type (

@@ -10,6 +10,7 @@ import (
 	"hybrid/internal/hio"
 	"hybrid/internal/kernel"
 	"hybrid/internal/nptl"
+	"hybrid/internal/stats"
 	"hybrid/internal/vclock"
 )
 
@@ -70,9 +71,21 @@ func fig17Offsets(cfg Fig17Config, thread int, reads int) []int64 {
 // Fig17Hybrid measures the hybrid runtime: threads monadic, reads via
 // sys_aio_read, disk elevator shared. Returns MB/s of virtual time.
 func Fig17Hybrid(cfg Fig17Config, threads int) float64 {
+	mbps, _ := fig17HybridStats(cfg, threads, disk.CLOOK)
+	return mbps
+}
+
+// Fig17HybridStats runs Fig17Hybrid and also returns the merged metrics
+// snapshot (sched.*, kernel.*, disk.*) taken at the end of the run.
+func Fig17HybridStats(cfg Fig17Config, threads int) (float64, stats.Snapshot) {
+	return fig17HybridStats(cfg, threads, disk.CLOOK)
+}
+
+func fig17HybridStats(cfg Fig17Config, threads int, sched disk.Scheduler) (float64, stats.Snapshot) {
 	clk := vclock.NewVirtual()
 	k := kernel.New(clk)
-	fs := kernel.NewFS(disk.New(clk, disk.BenchGeometry()))
+	d := disk.NewWithScheduler(clk, disk.BenchGeometry(), sched)
+	fs := kernel.NewFS(d)
 	f, err := fs.Create("big", cfg.FileBytes, false)
 	if err != nil {
 		panic(err)
@@ -81,7 +94,12 @@ func Fig17Hybrid(cfg Fig17Config, threads int) float64 {
 	defer rt.Shutdown()
 	io := hio.New(rt, k, fs)
 	defer io.Close()
-	return fig17Run(cfg, threads, clk, rt, io, f)
+	mbps := fig17Run(cfg, threads, clk, rt, io, f)
+	snap := stats.Snapshot{}
+	snap.Merge("sched", rt.Stats().Snapshot())
+	snap.Merge("kernel", k.Metrics().Snapshot())
+	snap.Merge("disk", d.Metrics().Snapshot())
+	return mbps, snap
 }
 
 // fig17Run drives the monadic read workload and reports MB/s.
@@ -187,16 +205,6 @@ func Fig17(cfg Fig17Config, threadCounts []int) []Point {
 // that services requests in arrival order. The gap between this and
 // Fig17Hybrid isolates the elevator as the mechanism behind the figure.
 func Fig17HybridFCFS(cfg Fig17Config, threads int) float64 {
-	clk := vclock.NewVirtual()
-	k := kernel.New(clk)
-	fs := kernel.NewFS(disk.NewWithScheduler(clk, disk.BenchGeometry(), disk.FCFS))
-	f, err := fs.Create("big", cfg.FileBytes, false)
-	if err != nil {
-		panic(err)
-	}
-	rt := core.NewRuntime(core.Options{Workers: 1, Clock: clk})
-	defer rt.Shutdown()
-	io := hio.New(rt, k, fs)
-	defer io.Close()
-	return fig17Run(cfg, threads, clk, rt, io, f)
+	mbps, _ := fig17HybridStats(cfg, threads, disk.FCFS)
+	return mbps
 }

@@ -11,6 +11,7 @@ import (
 	"hybrid/internal/kernel"
 	"hybrid/internal/loadgen"
 	"hybrid/internal/nptl"
+	"hybrid/internal/stats"
 	"hybrid/internal/vclock"
 )
 
@@ -126,7 +127,15 @@ func runLoad(clk *vclock.VirtualClock, rt *core.Runtime, io *hio.IO, cfg Fig19Co
 // Fig19Hybrid measures the paper's web server: monadic threads, AIO,
 // application-level cache.
 func Fig19Hybrid(cfg Fig19Config, conns int) float64 {
-	clk, _, _, rt, io := fig19Site(cfg)
+	mbps, _ := Fig19HybridStats(cfg, conns)
+	return mbps
+}
+
+// Fig19HybridStats runs Fig19Hybrid and also returns the merged metrics
+// snapshot (sched.*, kernel.*, disk.*, httpd.*) taken at the end of the
+// run.
+func Fig19HybridStats(cfg Fig19Config, conns int) (float64, stats.Snapshot) {
+	clk, k, fs, rt, io := fig19Site(cfg)
 	defer rt.Shutdown()
 	defer io.Close()
 	srv := httpd.NewServer(io, httpd.ServerConfig{
@@ -134,7 +143,13 @@ func Fig19Hybrid(cfg Fig19Config, conns int) float64 {
 		ChunkBytes: int(cfg.FileBytes),
 	})
 	rt.Spawn(srv.ListenAndServe("web:80"))
-	return runLoad(clk, rt, io, cfg, conns)
+	mbps := runLoad(clk, rt, io, cfg, conns)
+	snap := stats.Snapshot{}
+	snap.Merge("sched", rt.Stats().Snapshot())
+	snap.Merge("kernel", k.Metrics().Snapshot())
+	snap.Merge("disk", fs.Disk().Metrics().Snapshot())
+	snap.Merge("httpd", srv.Metrics().Snapshot())
+	return mbps, snap
 }
 
 // Fig19Apache measures the baseline: thread-per-connection blocking

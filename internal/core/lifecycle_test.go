@@ -1,0 +1,244 @@
+package core
+
+// Regression tests for the enqueue/shutdown lifecycle: a TCB rejected or
+// discarded by a closed queue must release its virtual-clock hold and
+// decrement the live count, or WaitIdle and vclock quiescence wedge
+// forever. Plus coverage for pushLocal affinity, the stealingQueue
+// invariant guard, the BlioInline sentinel, and the scheduler stats.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybrid/internal/vclock"
+)
+
+// A Spawn that loses the race with Shutdown must not leak the clock hold
+// taken in enqueue. On the pre-fix runtime the push was silently dropped:
+// live stayed at 1, the vclock busy count stayed at 1, and WaitIdle hung.
+func TestSpawnRacingShutdownReleasesClockHold(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	rt.Shutdown()
+
+	rt.Spawn(Do(func() {}))
+
+	if got := rt.Live(); got != 0 {
+		t.Fatalf("Live = %d after a rejected Spawn, want 0", got)
+	}
+	if busy := clk.Busy(); busy != 0 {
+		t.Fatalf("vclock busy = %d after a rejected Spawn, want 0 (leaked hold)", busy)
+	}
+	done := make(chan struct{})
+	go func() {
+		rt.WaitIdle()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitIdle wedged by a Spawn racing Shutdown")
+	}
+}
+
+// Shutdown discards threads still queued; each discarded thread must give
+// back its clock hold and its live count, exactly as if it had completed.
+func TestShutdownDiscardsQueuedThreadsCleanly(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, BlioWorkers: BlioInline, Clock: clk})
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	rt.Spawn(Do(func() { close(started); <-gate }))
+	<-started
+
+	// The single worker is occupied; these ten pile up in the ready queue.
+	for i := 0; i < 10; i++ {
+		rt.Spawn(Do(func() {}))
+	}
+	waitFor(t, func() bool { return rt.QueueDepth() == 10 })
+
+	shutdownDone := make(chan struct{})
+	go func() {
+		rt.Shutdown()
+		close(shutdownDone)
+	}()
+	// Shutdown drains the ten queued threads immediately; only the thread
+	// held hostage in the worker remains live.
+	waitFor(t, func() bool { return rt.Live() == 1 })
+	close(gate)
+	<-shutdownDone
+
+	if got := rt.Live(); got != 0 {
+		t.Fatalf("Live = %d after Shutdown, want 0", got)
+	}
+	if busy := clk.Busy(); busy != 0 {
+		t.Fatalf("vclock busy = %d after Shutdown, want 0", busy)
+	}
+	if got := rt.Stats().Snapshot().Counter("enqueue_rejected"); got != 10 {
+		t.Fatalf("enqueue_rejected = %d, want 10 discarded threads", got)
+	}
+}
+
+// Concurrent Spawn and Shutdown must neither race (run with -race) nor
+// miscount: every accepted thread runs or is discarded with its live
+// count released.
+func TestConcurrentSpawnAndShutdown(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		rt := NewRuntime(Options{Workers: 4, WorkStealing: true})
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					rt.Spawn(Then(Yield(), Do(func() {})))
+				}
+			}()
+		}
+		time.Sleep(time.Millisecond)
+		rt.Shutdown()
+		close(stop)
+		wg.Wait()
+		// Spawns that raced the close were rejected-and-accounted; the
+		// rest ran or were drained. Nothing may remain live.
+		if got := rt.Live(); got != 0 {
+			t.Fatalf("iter %d: Live = %d after Shutdown and spawner drain, want 0", iter, got)
+		}
+	}
+}
+
+// pushLocal keeps a thread on the pushing worker's own deque; the same
+// thread arriving at another worker counts as a steal.
+func TestStealingQueuePushLocalAffinity(t *testing.T) {
+	q := newStealingQueue(3)
+	tcbs := mkTCBs(6)
+	for _, tcb := range tcbs {
+		q.pushLocal(1, tcb)
+	}
+	for i := 0; i < 6; i++ {
+		got, stolen, ok := q.pop(1)
+		if !ok || stolen || got.id != uint64(i+1) {
+			t.Fatalf("pop %d = id %d stolen %v ok %v, want own-deque FIFO", i, got.id, stolen, ok)
+		}
+	}
+	// Same placement, foreign consumer: every delivery is a steal.
+	for _, tcb := range tcbs {
+		q.pushLocal(2, tcb)
+	}
+	for i := 0; i < 6; i++ {
+		got, stolen, ok := q.pop(0)
+		if !ok || !stolen {
+			t.Fatalf("foreign pop %d = id %d stolen %v ok %v, want steal", i, got.id, stolen, ok)
+		}
+	}
+}
+
+// A drifted total/deque invariant must resynchronize instead of panicking
+// in popFrom(-1).
+func TestStealingQueueTotalDriftDoesNotPanic(t *testing.T) {
+	q := newStealingQueue(2)
+	q.mu.Lock()
+	q.total = 3 // simulated corruption: counter says work, deques are empty
+	q.mu.Unlock()
+
+	done := make(chan bool, 1)
+	go func() {
+		_, _, ok := q.pop(0)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	if <-done {
+		t.Fatal("pop delivered a thread from a drifted-empty queue")
+	}
+}
+
+// BlioInline requests no blocking-I/O pool; zero still means the default.
+func TestBlioInlineSentinel(t *testing.T) {
+	if o := (Options{}).withDefaults(); o.BlioWorkers != 2 {
+		t.Fatalf("zero BlioWorkers defaulted to %d, want 2", o.BlioWorkers)
+	}
+	if o := (Options{BlioWorkers: BlioInline}).withDefaults(); o.BlioWorkers != 0 {
+		t.Fatalf("BlioInline resolved to %d workers, want 0", o.BlioWorkers)
+	}
+
+	rt := NewRuntime(Options{Workers: 1, BlioWorkers: BlioInline})
+	defer rt.Shutdown()
+	var got atomic.Int64
+	rt.Run(Bind(Blio(func() int { return 7 }), func(v int) M[Unit] {
+		return Do(func() { got.Store(int64(v)) })
+	}))
+	if got.Load() != 7 {
+		t.Fatalf("inline Blio result = %d, want 7", got.Load())
+	}
+	snap := rt.Stats().Snapshot()
+	if snap.Counter("blio_inline") != 1 || snap.Counter("blio_submits") != 0 {
+		t.Fatalf("inline=%d submits=%d, want the effect to run on the worker loop",
+			snap.Counter("blio_inline"), snap.Counter("blio_submits"))
+	}
+}
+
+// Acceptance: a WorkStealing runtime reports non-zero steal and dispatch
+// counters through Runtime.Stats().Snapshot().
+func TestWorkStealingStatsCounters(t *testing.T) {
+	rt := NewRuntime(Options{Workers: 2, WorkStealing: true})
+	defer rt.Shutdown()
+
+	// Occupy one worker; the free worker must drain its own deque and
+	// then steal everything that round-robin placed on the hostage's.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	rt.Spawn(Do(func() { close(started); <-gate }))
+	<-started
+	for i := 0; i < 20; i++ {
+		rt.Spawn(Do(func() {}))
+	}
+	waitFor(t, func() bool { return rt.Live() == 1 })
+
+	snap := rt.Stats().Snapshot()
+	if d := snap.Counter("dispatches"); d < 21 {
+		t.Fatalf("dispatches = %d, want >= 21", d)
+	}
+	if s := snap.Counter("steals"); s < 10 {
+		t.Fatalf("steals = %d, want >= 10 (free worker must raid the occupied one)", s)
+	}
+	perWorker := snap.Counter("worker00.dispatches") + snap.Counter("worker01.dispatches")
+	if perWorker != snap.Counter("dispatches") {
+		t.Fatalf("per-worker dispatches sum %d != total %d", perWorker, snap.Counter("dispatches"))
+	}
+	close(gate)
+	rt.WaitIdle()
+}
+
+// The scheduler's park/resume and batch instrumentation must see traffic.
+func TestSchedulerStatsObserveParksAndBatches(t *testing.T) {
+	rt := NewRuntime(Options{Workers: 1, BatchSteps: 4})
+	defer rt.Shutdown()
+
+	mv := NewMVar[int]()
+	rt.Spawn(Bind(mv.Take(), func(int) M[Unit] { return Skip })) // parks
+	rt.Spawn(Seq(
+		ForN(64, func(int) M[Unit] { return Do(func() {}) }), // exhausts 4-step batches
+		mv.Put(1), // resumes the parked thread
+	))
+	rt.WaitIdle()
+
+	snap := rt.Stats().Snapshot()
+	for _, name := range []string{"parks", "resumes", "batch_full", "completed"} {
+		if snap.Counter(name) == 0 {
+			t.Fatalf("%s = 0, want non-zero (snapshot %+v)", name, snap)
+		}
+	}
+	if m := snap["batch_used"]; m.Count == 0 || m.Sum == 0 {
+		t.Fatalf("batch_used histogram empty: %+v", m)
+	}
+}

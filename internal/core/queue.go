@@ -7,14 +7,25 @@ import "sync"
 // implements the per-scheduler queues with work stealing that §4.4
 // sketches as an improvement.
 type readyQueue interface {
-	// push appends a runnable thread.
-	push(t *TCB)
+	// push appends a runnable thread. It reports whether the thread was
+	// accepted: a closed queue rejects, and the caller must then account
+	// for the thread itself (release its clock hold, mark it done) —
+	// silently dropping a TCB leaks the busy hold taken at enqueue and
+	// wedges WaitIdle and virtual-clock quiescence.
+	push(t *TCB) bool
+	// pushLocal appends a runnable thread with affinity to the given
+	// worker: a work-stealing queue puts it on that worker's own deque
+	// (locality for batch-exhausted threads); the shared queue ignores
+	// the hint. Same rejection contract as push.
+	pushLocal(worker int, t *TCB) bool
 	// pop removes a thread for the given worker, blocking until one is
-	// available. It returns ok=false once the queue is closed and,
-	// for the shared queue, drained of nothing further to do.
-	pop(worker int) (*TCB, bool)
-	// close releases all blocked workers.
-	close()
+	// available. stolen reports that the thread came from another
+	// worker's deque. It returns ok=false once the queue is closed and
+	// there is nothing further to do.
+	pop(worker int) (t *TCB, stolen bool, ok bool)
+	// close releases all blocked workers and returns the threads still
+	// queued, so the caller can account for each discarded one.
+	close() []*TCB
 	// size reports the number of queued threads (diagnostics).
 	size() int
 }
@@ -39,18 +50,22 @@ func newSharedQueue() *sharedQueue {
 	return q
 }
 
-func (q *sharedQueue) push(t *TCB) {
+func (q *sharedQueue) push(t *TCB) bool {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return
+		return false
 	}
 	q.grow()
 	q.ring[(q.head+q.count)%len(q.ring)] = t
 	q.count++
 	q.mu.Unlock()
 	q.cond.Signal()
+	return true
 }
+
+// pushLocal ignores the affinity hint: there is only one queue.
+func (q *sharedQueue) pushLocal(_ int, t *TCB) bool { return q.push(t) }
 
 // grow doubles the ring when full. Called with q.mu held.
 func (q *sharedQueue) grow() {
@@ -65,28 +80,36 @@ func (q *sharedQueue) grow() {
 	q.head = 0
 }
 
-func (q *sharedQueue) pop(int) (*TCB, bool) {
+func (q *sharedQueue) pop(int) (*TCB, bool, bool) {
 	q.mu.Lock()
 	for q.count == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	if q.count == 0 {
 		q.mu.Unlock()
-		return nil, false
+		return nil, false, false
 	}
 	t := q.ring[q.head]
 	q.ring[q.head] = nil
 	q.head = (q.head + 1) % len(q.ring)
 	q.count--
 	q.mu.Unlock()
-	return t, true
+	return t, false, true
 }
 
-func (q *sharedQueue) close() {
+func (q *sharedQueue) close() []*TCB {
 	q.mu.Lock()
 	q.closed = true
+	var drained []*TCB
+	for q.count > 0 {
+		drained = append(drained, q.ring[q.head])
+		q.ring[q.head] = nil
+		q.head = (q.head + 1) % len(q.ring)
+		q.count--
+	}
 	q.mu.Unlock()
 	q.cond.Broadcast()
+	return drained
 }
 
 func (q *sharedQueue) size() int {
@@ -98,10 +121,10 @@ func (q *sharedQueue) size() int {
 // ---------------------------------------------------------------------------
 // stealingQueue: one deque per worker; a worker drains its own deque and
 // steals from the others when it runs dry. Pushes from outside any worker
-// are distributed round-robin. A single lock guards all deques — adequate
-// at this repository's scale and keeps the stealing logic obviously
-// correct; the ablation benchmark compares queue disciplines, not lock
-// implementations.
+// are distributed round-robin; pushLocal targets the calling worker's own
+// deque. A single lock guards all deques — adequate at this repository's
+// scale and keeps the stealing logic obviously correct; the ablation
+// benchmark compares queue disciplines, not lock implementations.
 // ---------------------------------------------------------------------------
 
 type stealingQueue struct {
@@ -119,11 +142,11 @@ func newStealingQueue(workers int) *stealingQueue {
 	return q
 }
 
-func (q *stealingQueue) push(t *TCB) {
+func (q *stealingQueue) push(t *TCB) bool {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return
+		return false
 	}
 	i := q.rr % len(q.deques)
 	q.rr++
@@ -131,33 +154,62 @@ func (q *stealingQueue) push(t *TCB) {
 	q.total++
 	q.mu.Unlock()
 	q.cond.Signal()
+	return true
 }
 
-func (q *stealingQueue) pop(worker int) (*TCB, bool) {
+// pushLocal appends to the worker's own deque, so a batch-exhausted
+// thread resumes on the core whose cache it just warmed.
+func (q *stealingQueue) pushLocal(worker int, t *TCB) bool {
 	q.mu.Lock()
-	for q.total == 0 && !q.closed {
-		q.cond.Wait()
-	}
-	if q.total == 0 {
+	if q.closed {
 		q.mu.Unlock()
-		return nil, false
+		return false
 	}
-	// Own deque first (FIFO for round-robin fairness within a worker)…
-	if w := worker % len(q.deques); len(q.deques[w]) > 0 {
-		t := q.popFrom(w)
-		q.mu.Unlock()
-		return t, true
-	}
-	// …then steal from the victim with the most queued work.
-	victim, best := -1, 0
-	for i, d := range q.deques {
-		if len(d) > best {
-			victim, best = i, len(d)
-		}
-	}
-	t := q.popFrom(victim)
+	i := worker % len(q.deques)
+	q.deques[i] = append(q.deques[i], t)
+	q.total++
 	q.mu.Unlock()
-	return t, true
+	q.cond.Signal()
+	return true
+}
+
+func (q *stealingQueue) pop(worker int) (*TCB, bool, bool) {
+	q.mu.Lock()
+	for {
+		for q.total == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.total == 0 {
+			q.mu.Unlock()
+			return nil, false, false
+		}
+		// Own deque first (FIFO for round-robin fairness within a worker)…
+		if w := worker % len(q.deques); len(q.deques[w]) > 0 {
+			t := q.popFrom(w)
+			q.mu.Unlock()
+			return t, false, true
+		}
+		// …then steal from the victim with the most queued work.
+		victim, best := -1, 0
+		for i, d := range q.deques {
+			if len(d) > best {
+				victim, best = i, len(d)
+			}
+		}
+		if victim == -1 {
+			// total says there is work but every deque is empty: the
+			// counter drifted. Resynchronize and re-check under the wait
+			// loop instead of panicking inside popFrom(-1).
+			q.total = 0
+			for _, d := range q.deques {
+				q.total += len(d)
+			}
+			continue
+		}
+		t := q.popFrom(victim)
+		q.mu.Unlock()
+		return t, true, true
+	}
 }
 
 // popFrom removes the oldest thread from deque i. Called with q.mu held
@@ -174,11 +226,18 @@ func (q *stealingQueue) popFrom(i int) *TCB {
 	return t
 }
 
-func (q *stealingQueue) close() {
+func (q *stealingQueue) close() []*TCB {
 	q.mu.Lock()
 	q.closed = true
+	var drained []*TCB
+	for i, d := range q.deques {
+		drained = append(drained, d...)
+		q.deques[i] = nil
+	}
+	q.total = 0
 	q.mu.Unlock()
 	q.cond.Broadcast()
+	return drained
 }
 
 func (q *stealingQueue) size() int {

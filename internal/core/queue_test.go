@@ -20,7 +20,7 @@ func TestSharedQueueFIFO(t *testing.T) {
 		q.push(tcb)
 	}
 	for i := 0; i < 5; i++ {
-		got, ok := q.pop(0)
+		got, _, ok := q.pop(0)
 		if !ok || got.id != uint64(i+1) {
 			t.Fatalf("pop %d = %v, %v", i, got, ok)
 		}
@@ -39,7 +39,7 @@ func TestSharedQueueGrowsAcrossWrap(t *testing.T) {
 		q.push(tcbs[i])
 	}
 	for i := 0; i < 30; i++ {
-		got, _ := q.pop(0)
+		got, _, _ := q.pop(0)
 		if got.id != uint64(i+1) {
 			t.Fatalf("warmup pop got %d", got.id)
 		}
@@ -48,7 +48,7 @@ func TestSharedQueueGrowsAcrossWrap(t *testing.T) {
 		q.push(tcbs[i])
 	}
 	for i := 30; i < 200; i++ {
-		got, ok := q.pop(0)
+		got, _, ok := q.pop(0)
 		if !ok || got.id != uint64(i+1) {
 			t.Fatalf("pop %d = id %d, ok %v", i, got.id, ok)
 		}
@@ -62,7 +62,7 @@ func TestSharedQueueCloseReleasesPoppers(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, ok := q.pop(0); ok {
+			if _, _, ok := q.pop(0); ok {
 				t.Error("pop returned ok after close with empty queue")
 			}
 		}()
@@ -84,7 +84,7 @@ func TestStealingQueueDeliversEverything(t *testing.T) {
 	}
 	seen := make(map[uint64]bool, n)
 	for i := 0; i < n; i++ {
-		got, ok := q.pop(i % 3)
+		got, _, ok := q.pop(i % 3)
 		if !ok {
 			t.Fatalf("pop %d failed", i)
 		}
@@ -106,14 +106,14 @@ func TestStealingQueueStealsFromBusyVictim(t *testing.T) {
 	}
 	// Worker 0 drains its own deque first…
 	for i := 0; i < 3; i++ {
-		got, _ := q.pop(0)
+		got, _, _ := q.pop(0)
 		if got.id%2 != 1 {
 			t.Fatalf("worker 0 popped foreign thread %d first", got.id)
 		}
 	}
 	// …then steals the rest from worker 1's deque.
 	for i := 0; i < 3; i++ {
-		got, ok := q.pop(0)
+		got, _, ok := q.pop(0)
 		if !ok || got.id%2 != 0 {
 			t.Fatalf("steal %d = id %d, ok %v", i, got.id, ok)
 		}
@@ -124,7 +124,7 @@ func TestStealingQueueClose(t *testing.T) {
 	q := newStealingQueue(2)
 	done := make(chan bool, 1)
 	go func() {
-		_, ok := q.pop(0)
+		_, _, ok := q.pop(0)
 		done <- ok
 	}()
 	q.close()

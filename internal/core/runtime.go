@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hybrid/internal/stats"
 	"hybrid/internal/vclock"
 )
 
@@ -22,6 +23,13 @@ type TCB struct {
 // ID reports the thread's identifier, unique within its runtime.
 func (t *TCB) ID() uint64 { return t.id }
 
+// BlioInline disables the blocking-I/O pool when assigned to
+// Options.BlioWorkers: blocking effects run inline on the worker event
+// loop. Only safe when nothing actually blocks (deterministic tests,
+// workloads with no sys_blio calls) — an inline blocking call stalls one
+// of the scheduler's event loops.
+const BlioInline = -1
+
 // Options configures a Runtime.
 type Options struct {
 	// Workers is the number of worker_main event loops (§4.4). Each runs
@@ -34,8 +42,8 @@ type Options struct {
 	// thread to improve locality" (§4.2). Default 128.
 	BatchSteps int
 	// BlioWorkers is the size of the blocking-I/O thread pool (§4.6).
-	// Zero means blocking effects run inline on the worker loop (only
-	// safe if nothing actually blocks). Default 2.
+	// Zero selects the default of 2; BlioInline (-1) disables the pool so
+	// blocking effects run inline on the worker loop.
 	BlioWorkers int
 	// WorkStealing enables one ready deque per worker with stealing, the
 	// load-balancing improvement the paper sketches at the end of §4.4.
@@ -61,7 +69,7 @@ func (o Options) withDefaults() Options {
 		o.BatchSteps = 128
 	}
 	if o.BlioWorkers < 0 {
-		o.BlioWorkers = 0
+		o.BlioWorkers = 0 // BlioInline (or any negative): no pool
 	} else if o.BlioWorkers == 0 {
 		o.BlioWorkers = 2
 	}
@@ -77,6 +85,56 @@ type PanicError struct{ Value any }
 
 func (e *PanicError) Error() string { return fmt.Sprintf("panic in thread effect: %v", e.Value) }
 
+// schedMetrics caches the scheduler's metric instruments so hot paths
+// touch atomics directly instead of looking names up in the registry.
+type schedMetrics struct {
+	dispatches *stats.Counter   // TCBs handed to a worker (== Switches)
+	steals     *stats.Counter   // dispatches that came from another worker's deque
+	yields     *stats.Counter   // sys_yield reschedules
+	parks      *stats.Counter   // threads parked by sys_suspend
+	resumes    *stats.Counter   // parked threads made runnable again
+	forks      *stats.Counter   // sys_fork children created
+	completed  *stats.Counter   // threads that terminated
+	uncaught   *stats.Counter   // exceptions that reached the top of a thread
+	rejected   *stats.Counter   // enqueues refused by a closed queue (Spawn vs Shutdown)
+	batchFull  *stats.Counter   // dispatches that exhausted their step budget
+	batchUsed  *stats.Histogram // trace nodes interpreted per dispatch
+	readyDepth *stats.Histogram // ready-queue depth sampled every 16th dispatch
+	blioSubmit *stats.Counter   // effects handed to the blocking-I/O pool
+	blioInline *stats.Counter   // blio effects run inline (no pool)
+	blioDepth  *stats.Histogram // blio queue depth sampled at submit
+
+	workerDispatches []*stats.Counter // per worker_main loop
+	workerSteals     []*stats.Counter
+}
+
+func newSchedMetrics(r *stats.Registry, workers int) *schedMetrics {
+	m := &schedMetrics{
+		dispatches: r.Counter("dispatches"),
+		steals:     r.Counter("steals"),
+		yields:     r.Counter("yields"),
+		parks:      r.Counter("parks"),
+		resumes:    r.Counter("resumes"),
+		forks:      r.Counter("forks"),
+		completed:  r.Counter("completed"),
+		uncaught:   r.Counter("uncaught"),
+		rejected:   r.Counter("enqueue_rejected"),
+		batchFull:  r.Counter("batch_full"),
+		batchUsed:  r.Histogram("batch_used", stats.PowersOfTwo(1024)...),
+		readyDepth: r.Histogram("ready_depth", stats.PowersOfTwo(1<<20)...),
+		blioSubmit: r.Counter("blio_submits"),
+		blioInline: r.Counter("blio_inline"),
+		blioDepth:  r.Histogram("blio_depth", stats.PowersOfTwo(1<<16)...),
+	}
+	for i := 0; i < workers; i++ {
+		m.workerDispatches = append(m.workerDispatches,
+			r.Counter(fmt.Sprintf("worker%02d.dispatches", i)))
+		m.workerSteals = append(m.workerSteals,
+			r.Counter(fmt.Sprintf("worker%02d.steals", i)))
+	}
+	return m
+}
+
 // Runtime is the event-driven system of the paper's Figure 14: worker
 // event loops draining a ready queue of traces, plus a blocking-I/O pool.
 // Event sources (epoll, AIO, timers, TCP) are plugged in from outside via
@@ -88,10 +146,12 @@ type Runtime struct {
 	ready readyQueue
 	blio  *sharedQueue // unbounded queue feeding the blocking-I/O pool
 
-	nextID   atomic.Uint64
-	live     atomic.Int64
-	spawned  atomic.Uint64
-	switches atomic.Uint64 // dispatches of a TCB by a worker
+	nextID  atomic.Uint64
+	live    atomic.Int64
+	spawned atomic.Uint64
+
+	metrics *stats.Registry
+	m       *schedMetrics
 
 	idleMu   sync.Mutex
 	idleCond *sync.Cond
@@ -107,7 +167,10 @@ type Runtime struct {
 // blocking-I/O pool, all waiting for threads.
 func NewRuntime(opts Options) *Runtime {
 	opts = opts.withDefaults()
-	rt := &Runtime{opts: opts, clock: opts.Clock}
+	rt := &Runtime{opts: opts, clock: opts.Clock, metrics: stats.NewRegistry()}
+	rt.m = newSchedMetrics(rt.metrics, opts.Workers)
+	rt.metrics.GaugeFunc("live", rt.Live)
+	rt.metrics.CounterFunc("spawned", rt.spawned.Load)
 	rt.idleCond = sync.NewCond(&rt.idleMu)
 	if opts.WorkStealing {
 		rt.ready = newStealingQueue(opts.Workers)
@@ -131,6 +194,11 @@ func NewRuntime(opts Options) *Runtime {
 // Clock reports the runtime's timing domain.
 func (rt *Runtime) Clock() vclock.Clock { return rt.clock }
 
+// Stats reports the scheduler's metrics registry: dispatch, steal, park,
+// and batch counters plus queue-depth histograms. Snapshot it (or merge
+// it with other subsystems' registries) to explain a benchmark curve.
+func (rt *Runtime) Stats() *stats.Registry { return rt.metrics }
+
 // Spawn creates a new monadic thread running m. It may be called from
 // outside the runtime or from effects within it.
 func (rt *Runtime) Spawn(m M[Unit]) {
@@ -147,10 +215,36 @@ func (rt *Runtime) spawnTrace(tr Trace) {
 // enqueue makes a thread runnable. Every queued or running thread holds
 // one busy count on the clock, taken here and released when a worker
 // finishes with the thread (parks it, ends it, or re-enqueues it, which
-// takes a fresh hold first).
+// takes a fresh hold first). If the queue rejects the thread (Shutdown
+// racing a Spawn or a resume), the hold is released and the thread
+// accounted as done here — the rejection path must leave the clock and
+// the live count exactly as a completed thread would.
 func (rt *Runtime) enqueue(tcb *TCB) {
 	rt.clock.Enter()
-	rt.ready.push(tcb)
+	if !rt.ready.push(tcb) {
+		rt.discard(tcb)
+	}
+}
+
+// enqueueLocal is enqueue with worker affinity, used when a worker
+// re-queues the thread it was just executing (batch exhaustion): on a
+// work-stealing queue the thread lands on that worker's own deque.
+func (rt *Runtime) enqueueLocal(worker int, tcb *TCB) {
+	rt.clock.Enter()
+	if !rt.ready.pushLocal(worker, tcb) {
+		rt.discard(tcb)
+	}
+}
+
+// discard accounts for a thread rejected by a closed queue: the clock
+// hold taken on its behalf is released and the thread counted as done, so
+// WaitIdle and virtual-clock quiescence see the same state as if the
+// thread had completed.
+func (rt *Runtime) discard(tcb *TCB) {
+	rt.m.rejected.Inc()
+	tcb.blioEffect = nil
+	rt.threadDone(tcb)
+	rt.clock.Exit()
 }
 
 // Live reports the number of threads that have been spawned and not yet
@@ -162,7 +256,7 @@ func (rt *Runtime) Spawned() uint64 { return rt.spawned.Load() }
 
 // Switches reports how many times a worker dispatched a thread; the
 // difference between two readings measures context-switch traffic.
-func (rt *Runtime) Switches() uint64 { return rt.switches.Load() }
+func (rt *Runtime) Switches() uint64 { return rt.m.dispatches.Load() }
 
 // QueueDepth reports the number of threads currently runnable but not
 // being executed (diagnostics; the paper's event-loop queues made
@@ -197,20 +291,30 @@ func (rt *Runtime) Run(m M[Unit]) {
 	rt.WaitIdle()
 }
 
-// Shutdown stops the worker loops. Threads still queued are discarded;
-// call WaitIdle first for a clean drain. Shutdown is idempotent.
+// Shutdown stops the worker loops. Threads still queued are discarded —
+// with their clock holds released and the live count decremented, so a
+// post-Shutdown WaitIdle cannot wedge on them — but call WaitIdle first
+// for a clean drain. Parked threads whose resume never fires remain live.
+// Shutdown is idempotent.
 func (rt *Runtime) Shutdown() {
 	if !rt.closed.CompareAndSwap(false, true) {
 		return
 	}
-	rt.ready.close()
+	// Each drained thread still owns the clock hold taken when it was
+	// enqueued; discard releases it and decrements the live count.
+	for _, tcb := range rt.ready.close() {
+		rt.discard(tcb)
+	}
 	if rt.blio != nil {
-		rt.blio.close()
+		for _, tcb := range rt.blio.close() {
+			rt.discard(tcb)
+		}
 	}
 	rt.wg.Wait()
 }
 
 func (rt *Runtime) threadDone(tcb *TCB) {
+	rt.m.completed.Inc()
 	if rt.live.Add(-1) == 0 {
 		rt.idleMu.Lock()
 		rt.idleCond.Broadcast()
@@ -219,6 +323,7 @@ func (rt *Runtime) threadDone(tcb *TCB) {
 }
 
 func (rt *Runtime) reportUncaught(tcb *TCB, err error) {
+	rt.m.uncaught.Inc()
 	if rt.opts.Uncaught != nil {
 		rt.opts.Uncaught(tcb.id, err)
 		return
@@ -234,23 +339,39 @@ func (rt *Runtime) reportUncaught(tcb *TCB, err error) {
 func (rt *Runtime) workerMain(id int) {
 	defer rt.wg.Done()
 	for {
-		tcb, ok := rt.ready.pop(id)
+		tcb, stolen, ok := rt.ready.pop(id)
 		if !ok {
 			return
 		}
-		rt.switches.Add(1)
-		rt.step(tcb)
+		rt.m.workerDispatches[id].Inc()
+		if stolen {
+			rt.m.steals.Inc()
+			rt.m.workerSteals[id].Inc()
+		}
+		if n := rt.m.dispatches.Inc(); n&0xF == 0 {
+			// Sampled, not per-dispatch: size() takes the queue lock.
+			rt.m.readyDepth.Observe(int64(rt.ready.size()))
+		}
+		rt.step(id, tcb)
 	}
 }
 
-// step interprets up to BatchSteps nodes of tcb's trace. It is the case
-// analysis at the heart of the hybrid model: each arm is one system call.
-// On return the thread has been re-enqueued, parked, or terminated, and
-// the clock hold taken at enqueue has been released or transferred.
-func (rt *Runtime) step(tcb *TCB) {
+// step interprets up to BatchSteps nodes of tcb's trace and records how
+// much of the budget the dispatch used. On return the thread has been
+// re-enqueued, parked, or terminated, and the clock hold taken at enqueue
+// has been released or transferred.
+func (rt *Runtime) step(worker int, tcb *TCB) {
+	used := rt.interpret(worker, tcb)
+	rt.m.batchUsed.Observe(int64(used))
+}
+
+// interpret is the case analysis at the heart of the hybrid model: each
+// arm is one system call. It returns the number of trace nodes executed.
+func (rt *Runtime) interpret(worker int, tcb *TCB) (used int) {
 	tr := tcb.trace
 	tcb.trace = nil
 	for budget := rt.opts.BatchSteps; budget > 0; budget-- {
+		used++
 		switch n := tr.(type) {
 		case *NBIONode:
 			tr = rt.runEffect(n.Effect)
@@ -259,26 +380,28 @@ func (rt *Runtime) step(tcb *TCB) {
 			child := &TCB{id: rt.nextID.Add(1), trace: n.Child}
 			rt.live.Add(1)
 			rt.spawned.Add(1)
+			rt.m.forks.Inc()
 			rt.enqueue(child)
 			tr = n.Cont
 
 		case *YieldNode:
+			rt.m.yields.Inc()
 			tcb.trace = n.Cont
 			rt.enqueue(tcb)
 			rt.clock.Exit()
-			return
+			return used
 
 		case *RetNode:
 			rt.threadDone(tcb)
 			rt.clock.Exit()
-			return
+			return used
 
 		case *ThrowNode:
 			if len(tcb.handlers) == 0 {
 				rt.reportUncaught(tcb, n.Err)
 				rt.threadDone(tcb)
 				rt.clock.Exit()
-				return
+				return used
 			}
 			h := tcb.handlers[len(tcb.handlers)-1]
 			tcb.handlers = tcb.handlers[:len(tcb.handlers)-1]
@@ -300,24 +423,33 @@ func (rt *Runtime) step(tcb *TCB) {
 			// enqueue, which takes a fresh clock hold; our own hold is
 			// released only after Park returns, so even if resume runs
 			// synchronously the busy count never touches zero in between.
+			rt.m.parks.Inc()
 			n.Park(func(next Trace) {
+				rt.m.resumes.Inc()
 				tcb.trace = next
 				rt.enqueue(tcb)
 			})
 			rt.clock.Exit()
-			return
+			return used
 
 		case *BlioNode:
 			if rt.blio == nil {
-				// No pool configured: run inline (test configurations).
+				// No pool configured (BlioInline): run on the worker loop.
+				rt.m.blioInline.Inc()
 				tr = rt.runEffect(n.Effect)
 				continue
 			}
 			tcb.blioEffect = n.Effect
 			// Our clock hold transfers to the blio queue entry; the pool
-			// worker releases it after re-enqueueing the thread.
-			rt.blio.push(tcb)
-			return
+			// worker releases it after re-enqueueing the thread. A
+			// rejected push (Shutdown already closed the pool) must not
+			// leak that hold — account the thread as discarded.
+			rt.m.blioSubmit.Inc()
+			rt.m.blioDepth.Observe(int64(rt.blio.size()))
+			if !rt.blio.push(tcb) {
+				rt.discard(tcb)
+			}
+			return used
 
 		case nil:
 			panic("core: nil trace node (thread resumed without a continuation?)")
@@ -326,10 +458,14 @@ func (rt *Runtime) step(tcb *TCB) {
 			panic(fmt.Sprintf("core: unknown trace node %T", tr))
 		}
 	}
-	// Batch exhausted: requeue behind other ready threads.
+	// Batch exhausted: requeue behind other ready threads, on this
+	// worker's own deque when stealing is enabled (cache locality — the
+	// thread's working set is hot right here).
+	rt.m.batchFull.Inc()
 	tcb.trace = tr
-	rt.enqueue(tcb)
+	rt.enqueueLocal(worker, tcb)
 	rt.clock.Exit()
+	return used
 }
 
 // runEffect performs a nonblocking effect, optionally trapping panics into
@@ -352,7 +488,7 @@ func (rt *Runtime) runEffect(effect func() Trace) (tr Trace) {
 func (rt *Runtime) workerBlio() {
 	defer rt.wg.Done()
 	for {
-		tcb, ok := rt.blio.pop(0)
+		tcb, _, ok := rt.blio.pop(0)
 		if !ok {
 			return
 		}

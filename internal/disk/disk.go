@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"hybrid/internal/stats"
 	"hybrid/internal/vclock"
 )
 
@@ -121,6 +122,7 @@ type Stats struct {
 	MaxQueue   int
 	TotalQueue uint64 // sum of queue depth sampled at each dispatch
 	Dispatches uint64
+	Sweeps     uint64 // C-LOOK wrap-arounds (one per elevator pass)
 }
 
 // Disk is the device model. Submit may be called from any goroutine in
@@ -137,6 +139,13 @@ type Disk struct {
 	seq      uint64
 	stats    Stats
 	inflight *Request
+
+	// metrics: queue depth and seek distance are sampled at every
+	// dispatch — the two distributions that explain Figure 17's rising
+	// curve (deeper queue → shorter seeks).
+	metrics   *stats.Registry
+	queueHist *stats.Histogram
+	seekHist  *stats.Histogram
 }
 
 // New creates a disk with the given geometry on the given clock, using
@@ -150,8 +159,32 @@ func NewWithScheduler(clock vclock.Clock, geom Geometry, sched Scheduler) *Disk 
 	if geom.Blocks <= 0 {
 		geom = DefaultGeometry()
 	}
-	return &Disk{geom: geom, clock: clock, sched: sched}
+	d := &Disk{geom: geom, clock: clock, sched: sched, metrics: stats.NewRegistry()}
+	d.queueHist = d.metrics.Histogram("queue_depth", stats.PowersOfTwo(1024)...)
+	d.seekHist = d.metrics.Histogram("seek_blocks", stats.PowersOfTwo(geom.Blocks)...)
+	counters := []struct {
+		name string
+		get  func(*Stats) uint64
+	}{
+		{"requests", func(s *Stats) uint64 { return s.Requests }},
+		{"blocks", func(s *Stats) uint64 { return s.Blocks }},
+		{"dispatches", func(s *Stats) uint64 { return s.Dispatches }},
+		{"sweeps", func(s *Stats) uint64 { return s.Sweeps }},
+	}
+	for _, c := range counters {
+		get := c.get
+		d.metrics.CounterFunc(c.name, func() uint64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return get(&d.stats)
+		})
+	}
+	d.metrics.GaugeFunc("pending", func() int64 { return int64(d.QueueDepth()) })
+	return d
 }
+
+// Metrics exposes the disk's registry for the observability layer.
+func (d *Disk) Metrics() *stats.Registry { return d.metrics }
 
 // Scheduler reports the dispatch policy.
 func (d *Disk) Scheduler() Scheduler { return d.sched }
@@ -268,6 +301,7 @@ func (d *Disk) dispatchLocked() (*Request, time.Duration) {
 		})
 		if i == len(d.pending) {
 			i = 0 // wrap: C-LOOK sweeps one direction only
+			d.stats.Sweeps++
 		}
 	}
 	r := d.pending[i]
@@ -285,6 +319,8 @@ func (d *Disk) dispatchLocked() (*Request, time.Duration) {
 	d.stats.BusyTime += service
 	d.stats.Dispatches++
 	d.stats.TotalQueue += uint64(len(d.pending) + 1)
+	d.seekHist.Observe(dist)
+	d.queueHist.Observe(int64(len(d.pending) + 1))
 	d.head = r.Block + int64(r.Count)
 	d.busy = true
 	d.inflight = r

@@ -8,6 +8,7 @@ import (
 	"hybrid/internal/core"
 	"hybrid/internal/hio"
 	"hybrid/internal/kernel"
+	"hybrid/internal/stats"
 	"hybrid/internal/tcp"
 )
 
@@ -80,11 +81,15 @@ type Server struct {
 	cache *Cache
 	disk  *core.Semaphore // nil unless MaxDiskReaders > 0
 
-	requests  atomic.Uint64
-	bytesOut  atomic.Uint64
-	errors    atomic.Uint64
-	conns     atomic.Int64
-	diskWaits atomic.Uint64
+	requests     atomic.Uint64
+	bytesOut     atomic.Uint64
+	errors       atomic.Uint64
+	conns        atomic.Int64
+	diskWaits    atomic.Uint64
+	cachedServes atomic.Uint64 // GETs answered from the cache
+	aioServes    atomic.Uint64 // GETs streamed from disk via AIO
+
+	metrics *stats.Registry
 }
 
 // NewServer creates a server over the given I/O layer (whose FS holds the
@@ -95,8 +100,23 @@ func NewServer(io *hio.IO, cfg ServerConfig) *Server {
 	if cfg.MaxDiskReaders > 0 {
 		s.disk = core.NewSemaphore(cfg.MaxDiskReaders)
 	}
+	s.metrics = stats.NewRegistry()
+	s.metrics.CounterFunc("requests", s.requests.Load)
+	s.metrics.CounterFunc("bytes_out", s.bytesOut.Load)
+	s.metrics.CounterFunc("errors", s.errors.Load)
+	s.metrics.CounterFunc("cached_serves", s.cachedServes.Load)
+	s.metrics.CounterFunc("aio_serves", s.aioServes.Load)
+	s.metrics.CounterFunc("disk_admissions", s.diskWaits.Load)
+	s.metrics.GaugeFunc("active_conns", s.conns.Load)
+	s.metrics.CounterFunc("cache_hits", func() uint64 { h, _, _ := s.cache.Stats(); return h })
+	s.metrics.CounterFunc("cache_misses", func() uint64 { _, m, _ := s.cache.Stats(); return m })
+	s.metrics.CounterFunc("cache_evictions", func() uint64 { _, _, e := s.cache.Stats(); return e })
+	s.metrics.GaugeFunc("cache_bytes", s.cache.Used)
 	return s
 }
+
+// Metrics exposes the server's registry for the observability layer.
+func (s *Server) Metrics() *stats.Registry { return s.metrics }
 
 // Cache exposes the server's cache (for benchmarks and tests).
 func (s *Server) Cache() *Cache { return s.cache }
@@ -238,6 +258,7 @@ func (s *Server) respond(t Transport, req *Request) core.M[bool] {
 
 	// Cache hit path: purely nonblocking.
 	if data, ok := s.cache.Get(name); ok {
+		s.cachedServes.Add(1)
 		return core.Then(
 			core.Bind(t.Write(ResponseHead(200, int64(len(data)), keep)), func(int) core.M[core.Unit] {
 				return core.Bind(t.Write(data), func(n int) core.M[core.Unit] {
@@ -262,6 +283,7 @@ func (s *Server) respond(t Transport, req *Request) core.M[bool] {
 			if f == nil {
 				return s.sendError(t, 404, keep)
 			}
+			s.aioServes.Add(1)
 			send := s.sendFile(t, f, name)
 			if s.disk != nil {
 				// Resource-aware admission: bound concurrent disk-path

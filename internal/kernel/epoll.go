@@ -105,6 +105,9 @@ func (ep *Epoll) Wait() (events []ReadyEvent, ok bool) {
 	ep.k.statsMu.Lock()
 	ep.k.stats.EpollWaits++
 	ep.k.statsMu.Unlock()
+	if len(events) > 0 {
+		ep.k.readySet.Observe(int64(len(events)))
+	}
 	return events, !closed || len(events) > 0
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hybrid/internal/stats"
 	"hybrid/internal/vclock"
 )
 
@@ -104,17 +105,23 @@ type Kernel struct {
 	// stats counts system calls for the evaluation harness.
 	statsMu sync.Mutex
 	stats   Stats
+
+	// metrics mirrors stats for the observability layer and adds the
+	// ready-set size distribution (updated in Epoll.Wait).
+	metrics  *stats.Registry
+	readySet *stats.Histogram
 }
 
 // Stats are monotonically increasing counters of kernel activity.
 type Stats struct {
-	Reads      uint64
-	Writes     uint64
-	BytesRead  uint64
-	BytesWrote uint64
-	EAGAINs    uint64
-	EpollWaits uint64
-	Wakeups    uint64
+	Reads       uint64
+	Writes      uint64
+	BytesRead   uint64
+	BytesWrote  uint64
+	EAGAINs     uint64
+	PipeEAGAINs uint64
+	EpollWaits  uint64
+	Wakeups     uint64
 }
 
 // New creates a kernel in the given timing domain.
@@ -122,12 +129,39 @@ func New(clock vclock.Clock) *Kernel {
 	if clock == nil {
 		clock = vclock.NewReal()
 	}
-	return &Kernel{
+	k := &Kernel{
 		clock:     clock,
 		fds:       make(map[FD]endpoint),
 		next:      3, // 0,1,2 reserved, as tradition demands
 		listeners: make(map[string]*Listener),
+		metrics:   stats.NewRegistry(),
 	}
+	k.readySet = k.metrics.Histogram("ready_set", stats.PowersOfTwo(4096)...)
+	// The syscall counters already live in Stats under statsMu; bridge
+	// them as func metrics rather than double-counting on the data path.
+	counters := []struct {
+		name string
+		get  func(*Stats) uint64
+	}{
+		{"reads", func(s *Stats) uint64 { return s.Reads }},
+		{"writes", func(s *Stats) uint64 { return s.Writes }},
+		{"bytes_read", func(s *Stats) uint64 { return s.BytesRead }},
+		{"bytes_written", func(s *Stats) uint64 { return s.BytesWrote }},
+		{"eagains", func(s *Stats) uint64 { return s.EAGAINs }},
+		{"pipe_eagains", func(s *Stats) uint64 { return s.PipeEAGAINs }},
+		{"epoll_waits", func(s *Stats) uint64 { return s.EpollWaits }},
+		{"wakeups", func(s *Stats) uint64 { return s.Wakeups }},
+	}
+	for _, c := range counters {
+		get := c.get
+		k.metrics.CounterFunc(c.name, func() uint64 {
+			k.statsMu.Lock()
+			defer k.statsMu.Unlock()
+			return get(&k.stats)
+		})
+	}
+	k.metrics.GaugeFunc("open_fds", func() int64 { return int64(k.OpenFDs()) })
+	return k
 }
 
 // Clock reports the kernel's timing domain.
@@ -139,6 +173,9 @@ func (k *Kernel) Snapshot() Stats {
 	defer k.statsMu.Unlock()
 	return k.stats
 }
+
+// Metrics exposes the kernel's registry for the observability layer.
+func (k *Kernel) Metrics() *stats.Registry { return k.metrics }
 
 func (k *Kernel) install(e endpoint) FD {
 	k.mu.Lock()
@@ -172,6 +209,9 @@ func (k *Kernel) Read(fd FD, p []byte) (int, error) {
 	k.stats.BytesRead += uint64(n)
 	if errors.Is(err, ErrAgain) {
 		k.stats.EAGAINs++
+		if isPipeEnd(e) {
+			k.stats.PipeEAGAINs++
+		}
 	}
 	k.statsMu.Unlock()
 	return n, err
@@ -190,9 +230,23 @@ func (k *Kernel) Write(fd FD, p []byte) (int, error) {
 	k.stats.BytesWrote += uint64(n)
 	if errors.Is(err, ErrAgain) {
 		k.stats.EAGAINs++
+		if isPipeEnd(e) {
+			k.stats.PipeEAGAINs++
+		}
 	}
 	k.statsMu.Unlock()
 	return n, err
+}
+
+// isPipeEnd reports whether the endpoint is either end of a FIFO pipe;
+// EAGAINs on pipes are tracked separately because they measure inter-thread
+// flow-control pressure rather than network or disk backpressure.
+func isPipeEnd(e endpoint) bool {
+	switch e.(type) {
+	case *pipeReadEnd, *pipeWriteEnd:
+		return true
+	}
+	return false
 }
 
 // Close releases fd. Further operations on it return ErrBadFD.

@@ -336,6 +336,7 @@ func (c *Conn) onRTOLocked() (wakes []func()) {
 	if len(c.rtx) == 0 {
 		return nil
 	}
+	c.s.stats.RTOExpiries++
 	r := &c.rtx[0]
 	if r.retries >= c.s.cfg.MaxRetries {
 		return c.teardownLocked(ErrTimeout)
@@ -398,6 +399,7 @@ func (c *Conn) armPersistLocked() {
 		if c.sndWnd == 0 && !c.sndBuf.Empty() && c.flightLocked() == 0 {
 			// Probe with one byte beyond the window; the receiver's
 			// buffer is elastic enough to absorb and acknowledge it.
+			c.s.stats.ZeroWindowProbes++
 			payload := c.sndBuf.Take(1)
 			c.sndBuf = c.sndBuf.Drop(1)
 			c.sendSegLocked(FlagACK, payload, true)

@@ -8,6 +8,7 @@ import (
 
 	"hybrid/internal/iovec"
 	"hybrid/internal/netsim"
+	"hybrid/internal/stats"
 	"hybrid/internal/vclock"
 )
 
@@ -111,6 +112,8 @@ type Stats struct {
 	SegsIn, SegsOut          uint64
 	Retransmits              uint64
 	FastRetransmits          uint64
+	RTOExpiries              uint64
+	ZeroWindowProbes         uint64
 	DupAcksIn                uint64
 	OutOfOrderIn             uint64
 	RSTsIn, RSTsOut          uint64
@@ -135,6 +138,8 @@ type Stack struct {
 	nextPort  uint16
 	issNext   uint32
 	stats     Stats
+
+	metrics *stats.Registry
 }
 
 // NewStack attaches a TCP stack to a netsim host.
@@ -147,10 +152,45 @@ func NewStack(host *netsim.Host, cfg Config) *Stack {
 		listeners: make(map[uint16]*Listener),
 		nextPort:  49152,
 		issNext:   1,
+		metrics:   stats.NewRegistry(),
 	}
+	counters := []struct {
+		name string
+		get  func(*Stats) uint64
+	}{
+		{"segs_in", func(st *Stats) uint64 { return st.SegsIn }},
+		{"segs_out", func(st *Stats) uint64 { return st.SegsOut }},
+		{"retransmits", func(st *Stats) uint64 { return st.Retransmits }},
+		{"fast_retransmits", func(st *Stats) uint64 { return st.FastRetransmits }},
+		{"rto_expiries", func(st *Stats) uint64 { return st.RTOExpiries }},
+		{"zero_window_probes", func(st *Stats) uint64 { return st.ZeroWindowProbes }},
+		{"dup_acks_in", func(st *Stats) uint64 { return st.DupAcksIn }},
+		{"out_of_order_in", func(st *Stats) uint64 { return st.OutOfOrderIn }},
+		{"bytes_in", func(st *Stats) uint64 { return st.BytesIn }},
+		{"bytes_out", func(st *Stats) uint64 { return st.BytesOut }},
+		{"conns_opened", func(st *Stats) uint64 { return st.ConnsOpened }},
+		{"conns_closed", func(st *Stats) uint64 { return st.ConnsClosed }},
+		{"syns_dropped", func(st *Stats) uint64 { return st.SynsDropped }},
+	}
+	for _, c := range counters {
+		get := c.get
+		s.metrics.CounterFunc(c.name, func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return get(&s.stats)
+		})
+	}
+	s.metrics.GaugeFunc("conns", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.conns))
+	})
 	host.SetHandler(s.input)
 	return s
 }
+
+// Metrics exposes the stack's registry for the observability layer.
+func (s *Stack) Metrics() *stats.Registry { return s.metrics }
 
 // Addr reports the stack's host address.
 func (s *Stack) Addr() string { return s.host.Addr() }
