@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race
+.PHONY: tier1 build vet test race tier2 stress fuzz-smoke
 
 # tier1 is the repository's gate: everything must build, vet clean, and
 # pass tests, with the race detector over the concurrency-heavy packages.
@@ -17,3 +17,19 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/stm/...
+
+# tier2 is the extended, non-gating suite (~30s): the randomized
+# scheduler stress tests under the race detector plus a short fuzz
+# smoke over every fuzz target. Failures print the seed to replay
+# (STRESS_SEED=<seed> make stress).
+tier2: stress fuzz-smoke
+
+stress:
+	$(GO) test -race -run 'Stress' -count=1 ./internal/core/
+
+fuzz-smoke:
+	$(GO) test -run FuzzParseRequest -fuzz FuzzParseRequest -fuzztime 5s ./internal/httpd/
+	$(GO) test -run FuzzHeadBuffer -fuzz FuzzHeadBuffer -fuzztime 5s ./internal/httpd/
+	$(GO) test -run FuzzParseResponseHead -fuzz FuzzParseResponseHead -fuzztime 5s ./internal/httpd/
+	$(GO) test -run FuzzVecModel -fuzz FuzzVecModel -fuzztime 5s ./internal/iovec/
+	$(GO) test -run FuzzVecSliceBounds -fuzz FuzzVecSliceBounds -fuzztime 5s ./internal/iovec/

@@ -11,25 +11,38 @@ import (
 	"os"
 
 	"hybrid/internal/bench"
+	"hybrid/internal/faults"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced read volume (shape only)")
 	maxThreads := flag.Int("max-threads", 65536, "largest thread count")
 	emitStats := flag.Bool("stats", false, "emit a JSON stats block per hybrid run")
+	faultSpec := flag.String("faults", "",
+		"deterministic fault plan for the hybrid runs: seed=N,rate=R[,<op>=R]")
 	flag.Parse()
 
 	cfg := bench.DefaultFig17()
 	if *quick {
 		cfg = bench.Fig17Quick()
 	}
+	fcfg, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig17disk:", err)
+		os.Exit(2)
+	}
+	cfg.Faults = fcfg
 	var counts []int
 	for n := 1; n <= *maxThreads; n *= 4 {
 		counts = append(counts, n)
 	}
 	fmt.Println("Figure 17: disk head scheduling (throughput vs working threads)")
-	fmt.Printf("file=%dMB total-read=%dMB block=%dB\n\n",
+	fmt.Printf("file=%dMB total-read=%dMB block=%dB\n",
 		cfg.FileBytes>>20, cfg.TotalReadBytes>>20, cfg.BlockBytes)
+	if cfg.Faults.Active() {
+		fmt.Printf("faults: %s (hybrid runs only)\n", *faultSpec)
+	}
+	fmt.Println()
 	if !*emitStats {
 		pts := bench.Fig17(cfg, counts)
 		bench.PrintSeries(os.Stdout, "threads", pts, "Hybrid (AIO)", "NPTL (pread)")

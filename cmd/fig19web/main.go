@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"hybrid/internal/bench"
+	"hybrid/internal/faults"
 )
 
 func main() {
@@ -19,6 +20,8 @@ func main() {
 	cached := flag.Bool("cached", false, "mostly-cached working set (§5.2 text)")
 	maxConns := flag.Int("max-conns", 1024, "largest connection count")
 	emitStats := flag.Bool("stats", false, "emit a JSON stats block per hybrid run")
+	faultSpec := flag.String("faults", "",
+		"deterministic fault plan for the hybrid runs: seed=N,rate=R[,<op>=R]")
 	flag.Parse()
 
 	cfg := bench.DefaultFig19()
@@ -26,6 +29,12 @@ func main() {
 		cfg = bench.Fig19Quick()
 	}
 	cfg.Cached = *cached
+	fcfg, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig19web:", err)
+		os.Exit(2)
+	}
+	cfg.Faults = fcfg
 	var counts []int
 	for n := 1; n <= *maxConns; n *= 4 {
 		counts = append(counts, n)
@@ -35,8 +44,12 @@ func main() {
 		label = "mostly-cached"
 	}
 	fmt.Printf("Figure 19: web server under %s load (throughput vs connections)\n", label)
-	fmt.Printf("files=%d×%dKB cache=%dMB requests=%d\n\n",
+	fmt.Printf("files=%d×%dKB cache=%dMB requests=%d\n",
 		cfg.Files, cfg.FileBytes>>10, cfg.CacheBytes>>20, cfg.TotalRequests)
+	if cfg.Faults.Active() {
+		fmt.Printf("faults: %s (hybrid runs only; Apache baseline is fault-free)\n", *faultSpec)
+	}
+	fmt.Println()
 	if !*emitStats {
 		pts := bench.Fig19(cfg, counts)
 		bench.PrintSeries(os.Stdout, "connections", pts, "Hybrid server", "Apache-like")

@@ -15,6 +15,7 @@ import (
 
 	"hybrid/internal/core"
 	"hybrid/internal/disk"
+	"hybrid/internal/faults"
 	"hybrid/internal/hio"
 	"hybrid/internal/httpd"
 	"hybrid/internal/kernel"
@@ -33,7 +34,15 @@ func main() {
 	requests := flag.Int("requests", 4096, "total requests")
 	useTCP := flag.Bool("tcp", false, "serve over the application-level TCP stack")
 	emitStats := flag.Bool("stats", false, "dump the merged metrics snapshot as JSON")
+	faultSpec := flag.String("faults", "",
+		"deterministic fault plan: seed=N,rate=R[,<op>=R,oneshot:<op>=K]; empty disables")
 	flag.Parse()
+
+	fcfg, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webserver:", err)
+		os.Exit(2)
+	}
 
 	clk := vclock.NewVirtual()
 	k := kernel.New(clk)
@@ -46,12 +55,22 @@ func main() {
 	io := hio.New(rt, k, fs)
 	defer io.Close()
 
-	srv := httpd.NewServer(io, httpd.ServerConfig{CacheBytes: *cacheMB << 20})
+	scfg := httpd.ServerConfig{CacheBytes: *cacheMB << 20}
+	var in *faults.Injector
+	if fcfg.Active() {
+		// An active plan also arms the server's graceful-degradation
+		// path: bounded retries on disk faults, 503 on a dead file.
+		in = faults.New(*fcfg, clk)
+		k.SetFaults(in)
+		fs.Disk().SetFaults(in)
+		scfg.DiskRetries = 2
+	}
+	srv := httpd.NewServer(io, scfg)
 
 	if *useTCP {
 		// One-line transport switch: the same server over TCP/netsim,
 		// driven by monadic clients speaking HTTP over the same stack.
-		runOverTCP(clk, rt, srv, *files, *conns, *requests, *emitStats)
+		runOverTCP(clk, rt, srv, in, *files, *conns, *requests, *emitStats)
 		return
 	}
 
@@ -82,12 +101,18 @@ func main() {
 		hits, misses, 100*float64(hits)/float64(hits+misses))
 	fmt.Printf("disk:            %d requests, mean queue %.1f, head moved %d blocks\n",
 		d.Requests, float64(d.TotalQueue)/float64(max64(1, d.Dispatches)), d.SeekBlocks)
+	if in != nil {
+		fmt.Printf("%s\n", in.Summary())
+	}
 	if *emitStats {
 		snap := stats.Snapshot{}
 		snap.Merge("sched", rt.Stats().Snapshot())
 		snap.Merge("kernel", k.Metrics().Snapshot())
 		snap.Merge("disk", fs.Disk().Metrics().Snapshot())
 		snap.Merge("httpd", srv.Metrics().Snapshot())
+		if in != nil {
+			snap.Merge("faults", in.Metrics().Snapshot())
+		}
 		fmt.Println()
 		if err := snap.WriteJSON(os.Stdout); err != nil {
 			panic(err)
@@ -97,8 +122,11 @@ func main() {
 
 // runOverTCP serves and loads the same HTTP workload across the
 // application-level TCP stack on a simulated Ethernet.
-func runOverTCP(clk *vclock.VirtualClock, rt *core.Runtime, srv *httpd.Server, files, conns, requests int, emitStats bool) {
+func runOverTCP(clk *vclock.VirtualClock, rt *core.Runtime, srv *httpd.Server, in *faults.Injector, files, conns, requests int, emitStats bool) {
 	net := netsim.New(clk, 1)
+	// In TCP mode the plan also reaches the wire: packet drop/dup/delay
+	// on the simulated Ethernet and segment drop/reset in the stack.
+	net.SetFaults(in)
 	hostS, err := net.Host("server", netsim.Ethernet100())
 	if err != nil {
 		panic(err)
@@ -107,7 +135,7 @@ func runOverTCP(clk *vclock.VirtualClock, rt *core.Runtime, srv *httpd.Server, f
 	if err != nil {
 		panic(err)
 	}
-	stackS := tcp.NewStack(hostS, tcp.Config{})
+	stackS := tcp.NewStack(hostS, tcp.Config{Faults: in})
 	stackC := tcp.NewStack(hostC, tcp.Config{})
 	l, err := stackS.Listen(80)
 	if err != nil {
@@ -216,11 +244,17 @@ func runOverTCP(clk *vclock.VirtualClock, rt *core.Runtime, srv *httpd.Server, f
 		float64(bytes)/(1<<20)/elapsed.Seconds())
 	fmt.Printf("tcp (server):    %d segs out, %d retransmits, %d conns\n",
 		ss.SegsOut, ss.Retransmits+ss.FastRetransmits, ss.ConnsOpened)
+	if in != nil {
+		fmt.Printf("%s\n", in.Summary())
+	}
 	if emitStats {
 		snap := stats.Snapshot{}
 		snap.Merge("sched", rt.Stats().Snapshot())
 		snap.Merge("tcp", stackS.Metrics().Snapshot())
 		snap.Merge("httpd", srv.Metrics().Snapshot())
+		if in != nil {
+			snap.Merge("faults", in.Metrics().Snapshot())
+		}
 		fmt.Println()
 		if err := snap.WriteJSON(os.Stdout); err != nil {
 			panic(err)

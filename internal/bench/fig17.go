@@ -7,6 +7,7 @@ import (
 
 	"hybrid/internal/core"
 	"hybrid/internal/disk"
+	"hybrid/internal/faults"
 	"hybrid/internal/hio"
 	"hybrid/internal/kernel"
 	"hybrid/internal/nptl"
@@ -29,6 +30,11 @@ type Fig17Config struct {
 	NPTLBudget int64
 	// Seed for the offset streams.
 	Seed uint64
+	// Faults, when active, attaches a deterministic fault injector to
+	// the kernel and disk of the hybrid run; reads then get bounded
+	// retries, and a block whose retries are exhausted is skipped. Nil
+	// or inactive leaves the run byte-for-byte identical to no faults.
+	Faults *faults.Config
 }
 
 // DefaultFig17 is the paper's configuration.
@@ -94,16 +100,27 @@ func fig17HybridStats(cfg Fig17Config, threads int, sched disk.Scheduler) (float
 	defer rt.Shutdown()
 	io := hio.New(rt, k, fs)
 	defer io.Close()
-	mbps := fig17Run(cfg, threads, clk, rt, io, f)
+	var in *faults.Injector
+	if cfg.Faults.Active() {
+		in = faults.New(*cfg.Faults, clk)
+		k.SetFaults(in)
+		d.SetFaults(in)
+	}
+	mbps := fig17Run(cfg, threads, clk, rt, io, f, in)
 	snap := stats.Snapshot{}
 	snap.Merge("sched", rt.Stats().Snapshot())
 	snap.Merge("kernel", k.Metrics().Snapshot())
 	snap.Merge("disk", d.Metrics().Snapshot())
+	if in != nil {
+		snap.Merge("faults", in.Metrics().Snapshot())
+	}
 	return mbps, snap
 }
 
-// fig17Run drives the monadic read workload and reports MB/s.
-func fig17Run(cfg Fig17Config, threads int, clk *vclock.VirtualClock, rt *core.Runtime, io *hio.IO, f *kernel.File) float64 {
+// fig17Run drives the monadic read workload and reports MB/s. With an
+// injector attached, each read gets bounded retries with backoff; a
+// block the disk refuses to deliver is skipped so the run completes.
+func fig17Run(cfg Fig17Config, threads int, clk *vclock.VirtualClock, rt *core.Runtime, io *hio.IO, f *kernel.File, in *faults.Injector) float64 {
 	totalReads := int(cfg.TotalReadBytes / int64(cfg.BlockBytes))
 	perThread, extra := totalReads/threads, totalReads%threads
 
@@ -121,7 +138,18 @@ func fig17Run(cfg Fig17Config, threads int, clk *vclock.VirtualClock, rt *core.R
 			buf := make([]byte, cfg.BlockBytes)
 			return core.Fork(core.Finally(
 				core.ForN(reads, func(i int) core.M[core.Unit] {
-					return core.Bind(io.AIORead(f, offs[i], buf), func(int) core.M[core.Unit] {
+					read := io.AIORead(f, offs[i], buf)
+					if in != nil {
+						read = core.Catch(
+							core.Retry(clk, core.Backoff{
+								Attempts: 4,
+								Base:     100 * time.Microsecond,
+								Factor:   2,
+							}, read),
+							func(error) core.M[int] { return core.Return(0) },
+						)
+					}
+					return core.Bind(read, func(int) core.M[core.Unit] {
 						return core.Skip
 					})
 				}),

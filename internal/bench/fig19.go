@@ -6,6 +6,7 @@ import (
 
 	"hybrid/internal/core"
 	"hybrid/internal/disk"
+	"hybrid/internal/faults"
 	"hybrid/internal/hio"
 	"hybrid/internal/httpd"
 	"hybrid/internal/kernel"
@@ -37,6 +38,11 @@ type Fig19Config struct {
 	// Cached, when true, shrinks the working set to fit the cache — the
 	// paper's "mostly-cached workloads (not shown in the figure)".
 	Cached bool
+	// Faults, when active, attaches a deterministic fault injector to
+	// the hybrid run's kernel and disk and enables the server's
+	// graceful-degradation path (bounded retries, 503 on a dead file).
+	// The Apache baseline always runs fault-free.
+	Faults *faults.Config
 }
 
 // DefaultFig19 is the paper's configuration.
@@ -138,10 +144,18 @@ func Fig19HybridStats(cfg Fig19Config, conns int) (float64, stats.Snapshot) {
 	clk, k, fs, rt, io := fig19Site(cfg)
 	defer rt.Shutdown()
 	defer io.Close()
-	srv := httpd.NewServer(io, httpd.ServerConfig{
+	scfg := httpd.ServerConfig{
 		CacheBytes: cfg.CacheBytes,
 		ChunkBytes: int(cfg.FileBytes),
-	})
+	}
+	var in *faults.Injector
+	if cfg.Faults.Active() {
+		in = faults.New(*cfg.Faults, clk)
+		k.SetFaults(in)
+		fs.Disk().SetFaults(in)
+		scfg.DiskRetries = 2
+	}
+	srv := httpd.NewServer(io, scfg)
 	rt.Spawn(srv.ListenAndServe("web:80"))
 	mbps := runLoad(clk, rt, io, cfg, conns)
 	snap := stats.Snapshot{}
@@ -149,6 +163,9 @@ func Fig19HybridStats(cfg Fig19Config, conns int) (float64, stats.Snapshot) {
 	snap.Merge("kernel", k.Metrics().Snapshot())
 	snap.Merge("disk", fs.Disk().Metrics().Snapshot())
 	snap.Merge("httpd", srv.Metrics().Snapshot())
+	if in != nil {
+		snap.Merge("faults", in.Metrics().Snapshot())
+	}
 	return mbps, snap
 }
 

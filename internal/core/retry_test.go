@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybrid/internal/vclock"
+)
+
+// TestRetryPureSuccessIsIdentity is the first retry law: wrapping a
+// computation that succeeds changes neither its result nor virtual time.
+func TestRetryPureSuccessIsIdentity(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	var got atomic.Int64
+	var runs atomic.Int64
+	done := make(chan struct{})
+	body := NBIO(func() int { runs.Add(1); return 42 })
+	rt.Spawn(Bind(
+		Retry(clk, Backoff{Attempts: 5, Base: time.Second}, body),
+		func(x int) M[Unit] { return Do(func() { got.Store(int64(x)); close(done) }) },
+	))
+	<-done
+	if got.Load() != 42 {
+		t.Fatalf("result = %d, want 42", got.Load())
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("body ran %d times, want 1", runs.Load())
+	}
+	if clk.Now() != 0 {
+		t.Fatalf("retry of a success advanced virtual time to %v", clk.Now())
+	}
+}
+
+// TestRetryBoundedAttempts: a body that always fails runs exactly
+// Attempts times and the final error propagates unchanged.
+func TestRetryBoundedAttempts(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	boom := errors.New("persistent failure")
+	var runs atomic.Int64
+	var caught atomic.Value
+	done := make(chan struct{})
+	body := NBIOe(func() (int, error) { runs.Add(1); return 0, boom })
+	rt.Spawn(Catch(
+		Then(Retry(clk, Backoff{Attempts: 4, Base: time.Millisecond}, body), Skip),
+		func(err error) M[Unit] { return Do(func() { caught.Store(err); close(done) }) },
+	))
+	<-done
+	if runs.Load() != 4 {
+		t.Fatalf("body ran %d times, want 4", runs.Load())
+	}
+	if !errors.Is(caught.Load().(error), boom) {
+		t.Fatalf("caught %v, want the body's error", caught.Load())
+	}
+	// 3 sleeps of 1ms each (constant backoff, Factor defaults to 1).
+	if clk.Now() != vclock.Time(3*time.Millisecond) {
+		t.Fatalf("virtual time = %v, want 3ms", clk.Now())
+	}
+}
+
+// TestRetryRecoversMidway: failures followed by a success produce the
+// success, with only the failed tries sleeping.
+func TestRetryRecoversMidway(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	var runs atomic.Int64
+	var got atomic.Int64
+	done := make(chan struct{})
+	body := NBIOe(func() (int, error) {
+		if runs.Add(1) < 3 {
+			return 0, errors.New("transient")
+		}
+		return 7, nil
+	})
+	rt.Spawn(Bind(
+		Retry(clk, Backoff{Attempts: 5, Base: 2 * time.Millisecond}, body),
+		func(x int) M[Unit] { return Do(func() { got.Store(int64(x)); close(done) }) },
+	))
+	<-done
+	if got.Load() != 7 || runs.Load() != 3 {
+		t.Fatalf("got %d after %d runs", got.Load(), runs.Load())
+	}
+	if clk.Now() != vclock.Time(4*time.Millisecond) {
+		t.Fatalf("virtual time = %v, want 4ms (two 2ms backoffs)", clk.Now())
+	}
+}
+
+// TestRetryExponentialBackoff: Factor grows the delay, Max caps it.
+func TestRetryExponentialBackoff(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	body := NBIOe(func() (int, error) { return 0, errors.New("nope") })
+	done := make(chan struct{})
+	rt.Spawn(Catch(
+		Then(Retry(clk, Backoff{
+			Attempts: 5, Base: time.Millisecond, Factor: 2, Max: 3 * time.Millisecond,
+		}, body), Skip),
+		func(error) M[Unit] { return Do(func() { close(done) }) },
+	))
+	<-done
+	// Delays: 1ms, 2ms, 3ms (capped), 3ms (capped) = 9ms.
+	if clk.Now() != vclock.Time(9*time.Millisecond) {
+		t.Fatalf("virtual time = %v, want 9ms", clk.Now())
+	}
+}
+
+// TestRetryIfNonRetryableStops: a predicate miss propagates immediately
+// with no sleep and no further tries.
+func TestRetryIfNonRetryableStops(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	fatal := errors.New("fatal")
+	var runs atomic.Int64
+	var caught atomic.Value
+	done := make(chan struct{})
+	body := NBIOe(func() (int, error) { runs.Add(1); return 0, fatal })
+	rt.Spawn(Catch(
+		Then(RetryIf(clk, Backoff{Attempts: 5, Base: time.Second},
+			func(err error) bool { return !errors.Is(err, fatal) }, body), Skip),
+		func(err error) M[Unit] { return Do(func() { caught.Store(err); close(done) }) },
+	))
+	<-done
+	if runs.Load() != 1 {
+		t.Fatalf("body ran %d times after a non-retryable error", runs.Load())
+	}
+	if clk.Now() != 0 {
+		t.Fatalf("non-retryable error slept: clock at %v", clk.Now())
+	}
+	if !errors.Is(caught.Load().(error), fatal) {
+		t.Fatalf("caught %v", caught.Load())
+	}
+}
+
+// TestTimeoutNeverFiresBeforeDeadline is the timeout law: a body that
+// finishes at the deadline's edge still wins; the timer cannot fire
+// early in virtual time.
+func TestTimeoutNeverFiresBeforeDeadline(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	// Sweep bodies that finish strictly before the 10ms deadline: none
+	// may observe ErrTimedOut. (At exactly d the race is a scheduling
+	// tie; strictly-before is the guarantee.)
+	for _, lead := range []time.Duration{1, 5 * time.Millisecond, 10*time.Millisecond - 1} {
+		var got atomic.Int64
+		done := make(chan struct{})
+		rt.Spawn(Bind(
+			Catch(
+				Timeout(clk, 10*time.Millisecond, Then(Sleep(clk, lead), Return(1))),
+				func(err error) M[int] { return Return(-1) },
+			),
+			func(x int) M[Unit] { return Do(func() { got.Store(int64(x)); close(done) }) },
+		))
+		<-done
+		if got.Load() != 1 {
+			t.Fatalf("body finishing %v before the deadline lost the race", 10*time.Millisecond-lead)
+		}
+	}
+}
+
+// TestWithDeadlineExpired: a deadline already in the past throws without
+// running the body at all.
+func TestWithDeadlineExpired(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	// Advance the clock to 1s.
+	step := make(chan struct{})
+	rt.Spawn(Then(Sleep(clk, time.Second), Do(func() { close(step) })))
+	<-step
+	var ran atomic.Bool
+	var caught atomic.Value
+	done := make(chan struct{})
+	body := NBIO(func() int { ran.Store(true); return 1 })
+	rt.Spawn(Catch(
+		Then(WithDeadline(clk, vclock.Time(500*time.Millisecond), body), Skip),
+		func(err error) M[Unit] { return Do(func() { caught.Store(err); close(done) }) },
+	))
+	<-done
+	if ran.Load() {
+		t.Fatal("body ran despite an expired deadline")
+	}
+	if !errors.Is(caught.Load().(error), ErrTimedOut) {
+		t.Fatalf("caught %v, want ErrTimedOut", caught.Load())
+	}
+}
+
+// TestWithDeadlineFuture: a future deadline behaves like Timeout for the
+// remaining duration.
+func TestWithDeadlineFuture(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	never := Suspend(func(func(int)) {}) // parks forever
+	var caught atomic.Value
+	done := make(chan struct{})
+	rt.Spawn(Catch(
+		Then(WithDeadline(clk, vclock.Time(30*time.Millisecond), never), Skip),
+		func(err error) M[Unit] { return Do(func() { caught.Store(err); close(done) }) },
+	))
+	<-done
+	if !errors.Is(caught.Load().(error), ErrTimedOut) {
+		t.Fatalf("caught %v", caught.Load())
+	}
+	if clk.Now() != vclock.Time(30*time.Millisecond) {
+		t.Fatalf("deadline fired at %v, want exactly 30ms", clk.Now())
+	}
+}
+
+// TestRetryReusableComputation: the same Retry value executed twice
+// starts from a fresh attempt count each time.
+func TestRetryReusableComputation(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+	var calls atomic.Int64
+	// Fails on every odd global call: each execution fails once then
+	// succeeds on its retry.
+	body := NBIOe(func() (int, error) {
+		if calls.Add(1)%2 == 1 {
+			return 0, errors.New("transient")
+		}
+		return 9, nil
+	})
+	m := Retry(clk, Backoff{Attempts: 2, Base: time.Millisecond}, body)
+	var got [2]int64
+	done := make(chan struct{})
+	rt.Spawn(Bind(m, func(x int) M[Unit] {
+		return Bind(m, func(y int) M[Unit] {
+			return Do(func() { got[0], got[1] = int64(x), int64(y); close(done) })
+		})
+	}))
+	<-done
+	if got[0] != 9 || got[1] != 9 {
+		t.Fatalf("got %v", got)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("body ran %d times, want 4 (two executions × fail+retry)", calls.Load())
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -156,8 +157,9 @@ type Runtime struct {
 	idleMu   sync.Mutex
 	idleCond *sync.Cond
 
-	uncaughtMu sync.Mutex
-	uncaught   []error
+	uncaughtMu   sync.Mutex
+	uncaught     []uncaughtRecord
+	uncaughtSeen map[uint64]struct{}
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -263,13 +265,27 @@ func (rt *Runtime) Switches() uint64 { return rt.m.dispatches.Load() }
 // visible).
 func (rt *Runtime) QueueDepth() int { return rt.ready.size() }
 
+// uncaughtRecord ties an uncaught exception to the thread that raised
+// it, so the collection can deduplicate and order deterministically.
+type uncaughtRecord struct {
+	thread uint64
+	err    error
+}
+
 // UncaughtErrors returns the exceptions that reached the top of a thread,
-// when no Options.Uncaught hook was installed.
+// when no Options.Uncaught hook was installed. Each thread appears at
+// most once, and the slice is ordered by thread id — spawn order — so
+// concurrent workers reporting panics produce a deterministic result.
 func (rt *Runtime) UncaughtErrors() []error {
 	rt.uncaughtMu.Lock()
-	defer rt.uncaughtMu.Unlock()
-	out := make([]error, len(rt.uncaught))
-	copy(out, rt.uncaught)
+	recs := make([]uncaughtRecord, len(rt.uncaught))
+	copy(recs, rt.uncaught)
+	rt.uncaughtMu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].thread < recs[j].thread })
+	out := make([]error, len(recs))
+	for i, r := range recs {
+		out[i] = r.err
+	}
 	return out
 }
 
@@ -329,7 +345,16 @@ func (rt *Runtime) reportUncaught(tcb *TCB, err error) {
 		return
 	}
 	rt.uncaughtMu.Lock()
-	rt.uncaught = append(rt.uncaught, err)
+	// A thread terminates when its exception reaches the top, so it can
+	// report at most once; the guard keeps that invariant even if a buggy
+	// event source resumes a dead thread into a second throw.
+	if _, dup := rt.uncaughtSeen[tcb.id]; !dup {
+		if rt.uncaughtSeen == nil {
+			rt.uncaughtSeen = make(map[uint64]struct{})
+		}
+		rt.uncaughtSeen[tcb.id] = struct{}{}
+		rt.uncaught = append(rt.uncaught, uncaughtRecord{thread: tcb.id, err: err})
+	}
 	rt.uncaughtMu.Unlock()
 }
 

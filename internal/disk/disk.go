@@ -16,18 +16,35 @@
 package disk
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
 	"time"
 
+	"hybrid/internal/faults"
 	"hybrid/internal/stats"
 	"hybrid/internal/vclock"
 )
 
 // BlockSize is the disk's addressable unit.
 const BlockSize = 4096
+
+// Errors delivered through Request.Fail under fault injection.
+var (
+	// ErrIO is a transient device error: the request failed but a retry
+	// of the same blocks may succeed.
+	ErrIO = errors.New("disk: input/output error (EIO)")
+	// ErrBadSector is an unrecoverable medium error: the fault plan
+	// marks the block permanently bad, so every retry fails the same way.
+	ErrBadSector = errors.New("disk: unrecoverable medium error (bad sector)")
+)
+
+// maxLatencySpike bounds an injected service-time spike — the cost of a
+// drive internally retrying or remapping a marginal sector (tens of
+// milliseconds on 2006 hardware).
+const maxLatencySpike = 20 * time.Millisecond
 
 // Scheduler selects the request-dispatch policy.
 type Scheduler int
@@ -109,8 +126,13 @@ type Request struct {
 	Extra time.Duration
 	// Done receives the completion callback.
 	Done func()
+	// Fail, if non-nil, receives the completion instead of Done when the
+	// fault layer errors the request. A request with no Fail handler
+	// falls back to Done (legacy callers that cannot observe errors).
+	Fail func(error)
 
-	seq uint64 // arrival order, for deterministic tie-breaks
+	seq      uint64 // arrival order, for deterministic tie-breaks
+	faultErr error  // decided at dispatch, delivered at completion
 }
 
 // Stats counts disk activity.
@@ -146,6 +168,11 @@ type Disk struct {
 	metrics   *stats.Registry
 	queueHist *stats.Histogram
 	seekHist  *stats.Histogram
+
+	// faults, when non-nil, errors requests (transient EIO, permanent
+	// bad sectors via the stateless hard-key set) and injects service-
+	// time spikes, per its deterministic plan.
+	faults *faults.Injector
 }
 
 // New creates a disk with the given geometry on the given clock, using
@@ -185,6 +212,12 @@ func NewWithScheduler(clock vclock.Clock, geom Geometry, sched Scheduler) *Disk 
 
 // Metrics exposes the disk's registry for the observability layer.
 func (d *Disk) Metrics() *stats.Registry { return d.metrics }
+
+// SetFaults attaches a fault injector: subsequent requests may fail with
+// ErrIO (transient) or ErrBadSector (permanent, per the plan's stateless
+// bad-block set) and may be charged extra service time. Call during
+// setup, before the disk is shared between goroutines.
+func (d *Disk) SetFaults(in *faults.Injector) { d.faults = in }
 
 // Scheduler reports the dispatch policy.
 func (d *Disk) Scheduler() Scheduler { return d.sched }
@@ -310,6 +343,14 @@ func (d *Disk) dispatchLocked() (*Request, time.Duration) {
 	d.pending = d.pending[:len(d.pending)-1]
 
 	service := d.geom.ServiceTime(d.head, r.Block, r.Count) + r.Extra
+	if d.faults != nil {
+		// The fault decision is made at dispatch (deterministic order —
+		// the elevator fixes it) and delivered at completion. A faulted
+		// request still charges full service time: the head moved and
+		// the platter spun whether or not the data came back.
+		r.faultErr = d.decideFault(r)
+		service += d.faults.Latency(faults.DiskLatency, maxLatencySpike)
+	}
 	dist := r.Block - d.head
 	if dist < 0 {
 		dist = -dist
@@ -338,7 +379,29 @@ func (d *Disk) complete(r *Request) {
 	if next != nil {
 		d.clock.After(service, func() { d.complete(next) })
 	}
+	if r.faultErr != nil && r.Fail != nil {
+		r.Fail(r.faultErr)
+		return
+	}
 	if r.Done != nil {
 		r.Done()
 	}
+}
+
+// decideFault draws the failure verdict for a dispatched request: a
+// permanently bad block anywhere in its range, else a transient error.
+func (d *Disk) decideFault(r *Request) error {
+	for b := r.Block; b < r.Block+int64(r.Count); b++ {
+		if d.faults.HardKey(faults.DiskHard, uint64(b)) {
+			return ErrBadSector
+		}
+	}
+	op := faults.DiskRead
+	if r.Write {
+		op = faults.DiskWrite
+	}
+	if d.faults.Fire(op) {
+		return ErrIO
+	}
+	return nil
 }

@@ -143,6 +143,12 @@ func (io *IO) SockAccept(listenFD kernel.FD) core.M[kernel.FD] {
 				if errors.Is(r.err, kernel.ErrAgain) {
 					return core.Then(io.EpollWait(listenFD, kernel.EventRead), try())
 				}
+				// EINTR and ECONNABORTED retry immediately: the signal
+				// landed before the accept, or the pending connection
+				// died in the backlog — neither is the listener's end.
+				if errors.Is(r.err, kernel.ErrIntr) || errors.Is(r.err, kernel.ErrConnAborted) {
+					return try()
+				}
 				return throwResult(r)
 			},
 		)
@@ -158,6 +164,9 @@ func (io *IO) SockRead(fd kernel.FD, p []byte) core.M[int] {
 		return core.Bind(io.Read(fd, p), func(r ReadResult) core.M[int] {
 			if errors.Is(r.Err, kernel.ErrAgain) {
 				return core.Then(io.EpollWait(fd, kernel.EventRead), try())
+			}
+			if errors.Is(r.Err, kernel.ErrIntr) {
+				return try() // interrupted before the transfer; retry now
 			}
 			if r.Err != nil {
 				return core.Throw[int](r.Err)
@@ -203,6 +212,9 @@ func (io *IO) SockSend(fd kernel.FD, p []byte) core.M[int] {
 			func(r result[int]) core.M[int] {
 				if errors.Is(r.err, kernel.ErrAgain) {
 					return core.Then(io.EpollWait(fd, kernel.EventWrite), try(rest))
+				}
+				if errors.Is(r.err, kernel.ErrIntr) {
+					return try(rest) // interrupted before the transfer; retry now
 				}
 				if r.err != nil {
 					return core.Throw[int](r.err)

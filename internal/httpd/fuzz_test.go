@@ -1,0 +1,146 @@
+package httpd_test
+
+import (
+	"strings"
+	"testing"
+
+	"hybrid/internal/httpd"
+)
+
+// FuzzParseRequest throws arbitrary request heads at the parser: it must
+// never panic, and an accepted head must satisfy the parser's own
+// contract (three-part request line, HTTP/ version, lowercase header
+// keys).
+func FuzzParseRequest(f *testing.F) {
+	f.Add("GET / HTTP/1.1\r\n\r\n")
+	f.Add("GET /file-0 HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\n\r\n")
+	f.Add("HEAD /x HTTP/1.0\r\nconnection: Keep-Alive\r\n\r\n")
+	f.Add("POST /upload HTTP/1.1\r\nContent-Length: 10\r\n\r\n")
+	f.Add("NONSENSE\r\n\r\n")
+	f.Add("GET  /two-spaces HTTP/1.1\r\n\r\n")
+	f.Add("GET /x HTTP/1.1\r\nBad Header\r\n\r\n")
+	f.Add("GET /x HTTP/1.1\r\n: empty-key\r\n\r\n")
+	f.Add("\r\n\r\n")
+	f.Fuzz(func(t *testing.T, head string) {
+		req, err := httpd.ParseRequest(head)
+		if err != nil {
+			if req != nil {
+				t.Fatalf("error %v with non-nil request", err)
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("nil request without error")
+		}
+		if !strings.HasPrefix(req.Version, "HTTP/") {
+			t.Fatalf("accepted version %q", req.Version)
+		}
+		for k := range req.Headers {
+			if k != strings.ToLower(k) {
+				t.Fatalf("header key %q not lowercased", k)
+			}
+		}
+		// KeepAlive must be total on any accepted request.
+		_ = req.KeepAlive()
+	})
+}
+
+// FuzzHeadBuffer feeds the same stream in two different chunkings: the
+// extracted heads must be identical, heads must end with the blank line,
+// and buffered counts must stay consistent. This is the invariant the
+// server's readHead loop relies on for pipelined requests.
+func FuzzHeadBuffer(f *testing.F) {
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"), 3)
+	f.Add([]byte("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"), 7)
+	f.Add([]byte("GET /a HTTP/1.1\r\nHost: x\r\n\r\ntrailing-body-bytes"), 1)
+	f.Add([]byte("\r\n\r\n\r\n\r\n"), 2)
+	f.Add([]byte(strings.Repeat("A", httpd.MaxHeadBytes+8)), 1024)
+	f.Fuzz(func(t *testing.T, stream []byte, chunk int) {
+		if chunk < 1 {
+			chunk = 1
+		}
+		collect := func(feedAll bool) ([]string, error) {
+			hb := &httpd.HeadBuffer{}
+			var heads []string
+			drainPending := func() error {
+				for {
+					head, err := hb.Pending()
+					if err != nil {
+						return err
+					}
+					if head == "" {
+						return nil
+					}
+					heads = append(heads, head)
+				}
+			}
+			feedOne := func(p []byte) error {
+				head, err := hb.Feed(p)
+				if err != nil {
+					return err
+				}
+				if head != "" {
+					heads = append(heads, head)
+				}
+				return drainPending()
+			}
+			if feedAll {
+				if err := feedOne(stream); err != nil {
+					return heads, err
+				}
+				return heads, nil
+			}
+			for off := 0; off < len(stream); off += chunk {
+				end := off + chunk
+				if end > len(stream) {
+					end = len(stream)
+				}
+				if err := feedOne(stream[off:end]); err != nil {
+					return heads, err
+				}
+			}
+			return heads, nil
+		}
+
+		whole, errW := collect(true)
+		parts, errP := collect(false)
+		if (errW == nil) != (errP == nil) {
+			t.Fatalf("chunking changed the verdict: whole=%v chunked=%v", errW, errP)
+		}
+		if errW != nil {
+			return // both overflowed; nothing more to check
+		}
+		if len(whole) != len(parts) {
+			t.Fatalf("chunking changed head count: %d vs %d", len(whole), len(parts))
+		}
+		for i := range whole {
+			if whole[i] != parts[i] {
+				t.Fatalf("head %d differs:\nwhole:   %q\nchunked: %q", i, whole[i], parts[i])
+			}
+			if !strings.HasSuffix(whole[i], "\r\n\r\n") {
+				t.Fatalf("head %d missing terminator: %q", i, whole[i])
+			}
+		}
+	})
+}
+
+// FuzzParseResponseHead: the response-head parser (the client half) must
+// never panic and must keep status/content-length within what the head
+// actually says.
+func FuzzParseResponseHead(f *testing.F) {
+	f.Add("HTTP/1.1 200 OK\r\nContent-Length: 16384\r\n\r\n")
+	f.Add("HTTP/1.1 503 Service Unavailable\r\nContent-Length: 24\r\nConnection: close\r\n\r\n")
+	f.Add("HTTP/1.1 404\r\n\r\n")
+	f.Add("HTTP/1.1 abc Bad\r\n\r\n")
+	f.Add("junk\r\n\r\n")
+	f.Fuzz(func(t *testing.T, head string) {
+		status, length, err := httpd.ParseResponseHead(head)
+		if err != nil {
+			return
+		}
+		if length < -1 {
+			t.Fatalf("content-length %d below the no-header sentinel", length)
+		}
+		_ = status
+	})
+}

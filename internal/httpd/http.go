@@ -100,12 +100,18 @@ func (h *HeadBuffer) Reset() { h.buf = h.buf[:0] }
 
 func (h *HeadBuffer) take() (string, error) {
 	if i := indexCRLFCRLF(h.buf); i >= 0 {
+		// Reject overlong heads even when the terminator is in the same
+		// chunk, so the verdict does not depend on how the stream was
+		// chunked (a feed of one big buffer vs. byte-by-byte reads).
+		if i+4 > MaxHeadBytes {
+			return "", fmt.Errorf("%w: head exceeds %d bytes", ErrMalformedRequest, MaxHeadBytes)
+		}
 		head := string(h.buf[:i+4])
 		rest := h.buf[i+4:]
 		h.buf = append(h.buf[:0], rest...)
 		return head, nil
 	}
-	if len(h.buf) > MaxHeadBytes {
+	if len(h.buf) >= MaxHeadBytes {
 		return "", fmt.Errorf("%w: head exceeds %d bytes", ErrMalformedRequest, MaxHeadBytes)
 	}
 	return "", nil
@@ -127,6 +133,7 @@ var statusText = map[int]string{
 	404: "Not Found",
 	405: "Method Not Allowed",
 	500: "Internal Server Error",
+	503: "Service Unavailable",
 }
 
 // ResponseHead renders a response status line and headers for a body of

@@ -1,15 +1,18 @@
 package httpd
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"hybrid/internal/core"
 	"hybrid/internal/hio"
 	"hybrid/internal/kernel"
 	"hybrid/internal/stats"
 	"hybrid/internal/tcp"
+	"hybrid/internal/vclock"
 )
 
 // Transport abstracts a byte-stream connection for the monadic server, so
@@ -58,6 +61,20 @@ type ServerConfig struct {
 	// (§5.2) — in its simplest admission-control form: cached requests
 	// never queue behind a saturated disk. Zero disables the bound.
 	MaxDiskReaders int
+	// DiskRetries, when positive, enables graceful degradation of the
+	// disk path: each AIO read gets up to DiskRetries retries (with
+	// RetryBackoff between them) before the request fails, and a file
+	// whose first read fails after all retries is answered with a 503
+	// instead of a wedged or torn connection. Zero keeps the original
+	// fail-fast path byte-for-byte.
+	DiskRetries int
+	// RetryBackoff is the base delay between disk retries (doubling each
+	// attempt). Default 500 µs when DiskRetries is set.
+	RetryBackoff vclock.Duration
+	// RequestDeadline, when positive, bounds each request's total
+	// service time: past it the server sends a 503 and sheds the
+	// connection. Zero disables the deadline.
+	RequestDeadline vclock.Duration
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -67,7 +84,17 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.ChunkBytes <= 0 {
 		c.ChunkBytes = 16 * 1024
 	}
+	if c.DiskRetries > 0 && c.RetryBackoff <= 0 {
+		c.RetryBackoff = 500 * time.Microsecond
+	}
 	return c
+}
+
+// degrading reports whether any graceful-degradation machinery is on.
+// When false the server's trace shape is identical to the original
+// fail-fast implementation — important for deterministic-replay tests.
+func (c ServerConfig) degrading() bool {
+	return c.DiskRetries > 0 || c.RequestDeadline > 0
 }
 
 // Server is the hybrid web server: one monadic thread per connection,
@@ -88,6 +115,13 @@ type Server struct {
 	diskWaits    atomic.Uint64
 	cachedServes atomic.Uint64 // GETs answered from the cache
 	aioServes    atomic.Uint64 // GETs streamed from disk via AIO
+
+	// Degradation counters (registered only when degrading() — the
+	// default server's stats snapshot is unchanged).
+	diskRetries atomic.Uint64 // disk reads retried after a fault
+	diskErrors  atomic.Uint64 // disk reads that failed after all retries
+	sheds       atomic.Uint64 // connections shed (503) by the deadline
+	unavailable atomic.Uint64 // 503 responses sent
 
 	metrics *stats.Registry
 }
@@ -112,6 +146,12 @@ func NewServer(io *hio.IO, cfg ServerConfig) *Server {
 	s.metrics.CounterFunc("cache_misses", func() uint64 { _, m, _ := s.cache.Stats(); return m })
 	s.metrics.CounterFunc("cache_evictions", func() uint64 { _, _, e := s.cache.Stats(); return e })
 	s.metrics.GaugeFunc("cache_bytes", s.cache.Used)
+	if cfg.degrading() {
+		s.metrics.CounterFunc("disk_retries", s.diskRetries.Load)
+		s.metrics.CounterFunc("disk_errors", s.diskErrors.Load)
+		s.metrics.CounterFunc("sheds", s.sheds.Load)
+		s.metrics.CounterFunc("resp_503", s.unavailable.Load)
+	}
 	return s
 }
 
@@ -202,7 +242,7 @@ func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
 			if req == nil {
 				return core.Then(t.Close(), core.Do(func() { s.conns.Add(-1) }))
 			}
-			return core.Bind(s.respond(t, req), func(keep bool) core.M[core.Unit] {
+			return core.Bind(s.respondBounded(t, req), func(keep bool) core.M[core.Unit] {
 				if keep {
 					return serveOne()
 				}
@@ -222,6 +262,28 @@ func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
 			func(error) core.M[core.Unit] { return core.Skip },
 		)
 	})
+}
+
+// respondBounded applies the configured request deadline around respond.
+// Past the deadline the server answers 503 and sheds the connection; per
+// the runtime's no-cancellation semantics (FirstOf), the straggling
+// handler keeps running in its own thread and its late writes fail
+// harmlessly once the connection closes.
+func (s *Server) respondBounded(t Transport, req *Request) core.M[bool] {
+	if s.cfg.RequestDeadline <= 0 {
+		return s.respond(t, req)
+	}
+	return core.Catch(
+		core.Timeout(s.io.Clock(), s.cfg.RequestDeadline, s.respond(t, req)),
+		func(err error) core.M[bool] {
+			if !errors.Is(err, core.ErrTimedOut) {
+				return core.Throw[bool](err)
+			}
+			s.sheds.Add(1)
+			return core.Catch(s.sendError(t, 503, false),
+				func(error) core.M[bool] { return core.Return(false) })
+		},
+	)
 }
 
 // respond serves one request and reports whether to keep the connection.
@@ -284,6 +346,15 @@ func (s *Server) respond(t Transport, req *Request) core.M[bool] {
 				return s.sendError(t, 404, keep)
 			}
 			s.aioServes.Add(1)
+			if s.cfg.DiskRetries > 0 {
+				// Degrading path: bounded retries, 503 on a dead file.
+				send := s.sendFileDegraded(t, f, name, keep)
+				if s.disk != nil {
+					s.diskWaits.Add(1)
+					send = core.Then(s.disk.Acquire(), core.Finally(send, s.disk.Release()))
+				}
+				return send
+			}
 			send := s.sendFile(t, f, name)
 			if s.disk != nil {
 				// Resource-aware admission: bound concurrent disk-path
@@ -339,7 +410,84 @@ func (s *Server) sendFile(t Transport, f *kernel.File, name string) core.M[core.
 	)
 }
 
+// sendFileDegraded is sendFile with the recovery combinators threaded
+// in: every AIO read gets bounded retries with backoff, and — crucially
+// — the FIRST chunk is read before the status line is committed, so a
+// file the disk cannot deliver degrades to a clean 503 instead of a
+// torn 200. A read that exhausts its retries mid-stream can only abort
+// the connection (the head already promised size bytes); the caller's
+// Catch closes it.
+func (s *Server) sendFileDegraded(t Transport, f *kernel.File, name string, keep bool) core.M[bool] {
+	size := f.Size()
+	cacheable := size <= s.cfg.CacheBytes
+	var assembled []byte
+	if cacheable {
+		assembled = make([]byte, 0, size)
+	}
+	chunk := make([]byte, s.cfg.ChunkBytes)
+	bo := core.Backoff{Attempts: s.cfg.DiskRetries + 1, Base: s.cfg.RetryBackoff, Factor: 2}
+	readAt := func(off int64) core.M[int] {
+		// The retry predicate runs once per failed attempt that will be
+		// retried; the OnException hook fires only when retries are
+		// exhausted and the failure escapes.
+		return core.OnException(
+			core.RetryIf(s.io.Clock(), bo,
+				func(error) bool { s.diskRetries.Add(1); return true },
+				s.io.AIORead(f, off, chunk)),
+			core.Do(func() { s.diskErrors.Add(1) }),
+		)
+	}
+
+	var stream func(off int64) core.M[core.Unit]
+	// ship writes an n-byte chunk read at off, then continues the stream.
+	ship := func(n int, off int64) core.M[core.Unit] {
+		if cacheable {
+			assembled = append(assembled, chunk[:n]...)
+		}
+		return core.Bind(t.Write(chunk[:n]), func(w int) core.M[core.Unit] {
+			s.bytesOut.Add(uint64(w))
+			return stream(off + int64(n))
+		})
+	}
+	stream = func(off int64) core.M[core.Unit] {
+		if off >= size {
+			return core.Do(func() {
+				if cacheable {
+					s.cache.Put(name, assembled)
+				}
+			})
+		}
+		return core.Bind(readAt(off), func(n int) core.M[core.Unit] {
+			if n == 0 {
+				return core.Skip
+			}
+			return ship(n, off)
+		})
+	}
+
+	return core.Bind(
+		core.Catch(readAt(0), func(error) core.M[int] { return core.Return(-1) }),
+		func(n0 int) core.M[bool] {
+			if n0 < 0 {
+				return s.sendError(t, 503, false) // degrade: shed this connection
+			}
+			body := core.Skip
+			if n0 > 0 {
+				body = ship(n0, 0)
+			}
+			return core.Then(
+				core.Bind(t.Write(ResponseHead(200, size, true)),
+					func(int) core.M[core.Unit] { return core.Skip }),
+				core.Then(body, core.Return(keep)),
+			)
+		},
+	)
+}
+
 func (s *Server) sendError(t Transport, status int, keep bool) core.M[bool] {
+	if status == 503 {
+		s.unavailable.Add(1)
+	}
 	body := []byte(fmt.Sprintf("%d %s\n", status, statusText[status]))
 	head := ResponseHead(status, int64(len(body)), keep)
 	return core.Then(

@@ -3,6 +3,9 @@ package kernel
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hybrid/internal/faults"
 )
 
 // This file implements the kernel's readiness-notification device, the
@@ -70,11 +73,30 @@ func (ep *Epoll) Register(fd FD, mask Event, data any) error {
 	return nil
 }
 
+// maxEpollDelay bounds an injected readiness delay: long enough to
+// reorder wakeups against I/O completions, short enough that workloads
+// still make progress.
+const maxEpollDelay = time.Millisecond
+
 // fire queues the event and wakes a waiter. Called by kernel objects when
 // a watch's mask becomes satisfied; the caller has already removed the
 // watch from its wait list (one-shot).
 func (w *watch) fire(ev Event) {
 	ep := w.ep
+	// An injected delay postpones delivery on the clock. No busy hold is
+	// taken for the interim: the pending timer is what keeps virtual time
+	// from idling past the wakeup, and the hold is taken in deliver as
+	// usual (the timer callback runs with its own hold, so the transfer
+	// is seamless).
+	if d := ep.k.faults.Latency(faults.EpollDelay, maxEpollDelay); d > 0 {
+		ep.k.clock.After(d, func() { ep.deliver(w, ev) })
+		return
+	}
+	ep.deliver(w, ev)
+}
+
+// deliver queues the (possibly delayed) event and wakes a waiter.
+func (ep *Epoll) deliver(w *watch, ev Event) {
 	// Every undelivered ready event holds the clock busy: in the virtual
 	// domain time must not advance past a wakeup that has been earned but
 	// not yet delivered to the scheduler.

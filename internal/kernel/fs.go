@@ -187,6 +187,7 @@ func (fs *FS) AIOReadExtra(f *File, off int64, p []byte, extra vclock.Duration, 
 		Done: func() {
 			done(f.contentsAt(p[:n], off), nil)
 		},
+		Fail: func(derr error) { done(0, derr) },
 	})
 	if err != nil {
 		done(0, err)
@@ -217,6 +218,7 @@ func (fs *FS) AIOWrite(f *File, off int64, p []byte, done func(n int, err error)
 			m, werr := f.WriteAt(p[:n], off)
 			done(m, werr)
 		},
+		Fail: func(derr error) { done(0, derr) },
 	})
 	if err != nil {
 		done(0, err)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hybrid/internal/faults"
 	"hybrid/internal/stats"
 	"hybrid/internal/vclock"
 )
@@ -40,6 +41,16 @@ var (
 	ErrAddrInUse = errors.New("address already in use (EADDRINUSE)")
 	// ErrClosed reports an operation on a closed kernel object.
 	ErrClosed = errors.New("use of closed descriptor")
+	// ErrIntr is EINTR: the call was interrupted before it could start;
+	// retry immediately. Only produced under fault injection.
+	ErrIntr = errors.New("interrupted system call (EINTR)")
+	// ErrIO is EIO: a low-level I/O error. Only produced under fault
+	// injection.
+	ErrIO = errors.New("input/output error (EIO)")
+	// ErrConnAborted is ECONNABORTED: the pending connection was torn
+	// down before accept could return it; retry the accept. Only
+	// produced under fault injection.
+	ErrConnAborted = errors.New("software caused connection abort (ECONNABORTED)")
 )
 
 // FD is a virtual file descriptor.
@@ -110,6 +121,11 @@ type Kernel struct {
 	// ready-set size distribution (updated in Epoll.Wait).
 	metrics  *stats.Registry
 	readySet *stats.Histogram
+
+	// faults, when non-nil, injects syscall failures and delayed epoll
+	// readiness per its deterministic plan. Nil-safe: the zero kernel
+	// behaves exactly as before.
+	faults *faults.Injector
 }
 
 // Stats are monotonically increasing counters of kernel activity.
@@ -167,6 +183,12 @@ func New(clock vclock.Clock) *Kernel {
 // Clock reports the kernel's timing domain.
 func (k *Kernel) Clock() vclock.Clock { return k.clock }
 
+// SetFaults attaches a fault injector: subsequent reads, writes, and
+// accepts may fail with EINTR/EAGAIN/EIO (ECONNABORTED for accept) and
+// epoll readiness may be delivered late, per the injector's plan. Call
+// during setup, before the kernel is shared between goroutines.
+func (k *Kernel) SetFaults(in *faults.Injector) { k.faults = in }
+
 // Snapshot returns a copy of the kernel's counters.
 func (k *Kernel) Snapshot() Stats {
 	k.statsMu.Lock()
@@ -203,10 +225,25 @@ func (k *Kernel) Read(fd FD, p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Injected failures happen before the endpoint is touched, like a
+	// signal landing before the syscall moves data. EAGAIN is safe to
+	// forge because readiness is level-triggered: the retry path's epoll
+	// registration fires immediately if data really is there.
+	if err := k.faults.FireErr(faults.KernelRead, ErrIntr, ErrAgain, ErrIO); err != nil {
+		k.countIO(&k.stats.Reads, &k.stats.BytesRead, 0, err, e)
+		return 0, err
+	}
 	n, err := e.read(p)
+	k.countIO(&k.stats.Reads, &k.stats.BytesRead, n, err, e)
+	return n, err
+}
+
+// countIO updates the syscall counters for one read or write. op and
+// bytes point into k.stats; callers pass which side they are.
+func (k *Kernel) countIO(op, bytes *uint64, n int, err error, e endpoint) {
 	k.statsMu.Lock()
-	k.stats.Reads++
-	k.stats.BytesRead += uint64(n)
+	*op++
+	*bytes += uint64(n)
 	if errors.Is(err, ErrAgain) {
 		k.stats.EAGAINs++
 		if isPipeEnd(e) {
@@ -214,7 +251,6 @@ func (k *Kernel) Read(fd FD, p []byte) (int, error) {
 		}
 	}
 	k.statsMu.Unlock()
-	return n, err
 }
 
 // Write performs a nonblocking write on fd. It may write fewer bytes than
@@ -224,17 +260,12 @@ func (k *Kernel) Write(fd FD, p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, err := e.write(p)
-	k.statsMu.Lock()
-	k.stats.Writes++
-	k.stats.BytesWrote += uint64(n)
-	if errors.Is(err, ErrAgain) {
-		k.stats.EAGAINs++
-		if isPipeEnd(e) {
-			k.stats.PipeEAGAINs++
-		}
+	if err := k.faults.FireErr(faults.KernelWrite, ErrIntr, ErrAgain, ErrIO); err != nil {
+		k.countIO(&k.stats.Writes, &k.stats.BytesWrote, 0, err, e)
+		return 0, err
 	}
-	k.statsMu.Unlock()
+	n, err := e.write(p)
+	k.countIO(&k.stats.Writes, &k.stats.BytesWrote, n, err, e)
 	return n, err
 }
 

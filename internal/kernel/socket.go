@@ -3,6 +3,8 @@ package kernel
 import (
 	"fmt"
 	"sync"
+
+	"hybrid/internal/faults"
 )
 
 // Stream sockets: a connected socket is a pair of pipes cross-connected
@@ -173,6 +175,11 @@ func (k *Kernel) Accept(listenFD FD) (FD, error) {
 	l, ok := e.(*Listener)
 	if !ok {
 		return 0, ErrInvalid
+	}
+	// Only the retryable accept errors are injected — an EIO here would
+	// kill a server's accept loop rather than exercise its retry path.
+	if err := k.faults.FireErr(faults.KernelAccept, ErrIntr, ErrConnAborted); err != nil {
+		return 0, err
 	}
 	l.mu.Lock()
 	if l.closed {

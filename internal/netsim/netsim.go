@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"hybrid/internal/faults"
 	"hybrid/internal/vclock"
 )
 
@@ -63,6 +64,11 @@ type Network struct {
 	// Stats
 	sent, delivered, dropped, duplicated uint64
 	bytesSent                            uint64
+
+	// faults, when non-nil, injects extra loss, duplication, and reorder
+	// jitter on top of the links' own parameters, per its deterministic
+	// plan.
+	faults *faults.Injector
 }
 
 // New creates a network on the given clock with a deterministic RNG seed.
@@ -76,6 +82,11 @@ func New(clock vclock.Clock, seed int64) *Network {
 
 // Clock reports the network's timing domain.
 func (n *Network) Clock() vclock.Clock { return n.clock }
+
+// SetFaults attaches a fault injector: subsequent packets may be
+// dropped, duplicated, or delayed (reordered) beyond what the link
+// parameters already model. Call during setup, before traffic flows.
+func (n *Network) SetFaults(in *faults.Injector) { n.faults = in }
 
 // Stats reports packet counters: sent, delivered, dropped, duplicated.
 func (n *Network) Stats() (sent, delivered, dropped, duplicated uint64) {
@@ -143,6 +154,12 @@ func (h *Host) Send(dst string, payload []byte) {
 		jitter = time.Duration(n.rng.Int63n(int64(4*h.link.Latency) + 1))
 	}
 	n.mu.Unlock()
+
+	// Injected faults are OR-ed onto the link model's own draws, so a
+	// plan can make even a clean link hostile.
+	loss = loss || n.faults.Fire(faults.NetDrop)
+	dup = dup || n.faults.Fire(faults.NetDup)
+	jitter += n.faults.Latency(faults.NetReorder, 4*h.link.Latency+time.Millisecond)
 
 	h.mu.Lock()
 	if h.queued+len(payload) > h.link.QueueLimit {

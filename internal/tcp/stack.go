@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"hybrid/internal/faults"
 	"hybrid/internal/iovec"
 	"hybrid/internal/netsim"
 	"hybrid/internal/stats"
@@ -60,6 +61,11 @@ type Config struct {
 	// accepted-but-unclaimed; SYNs beyond it are dropped (the client
 	// retries, as under SYN-queue pressure on a real stack). Default 128.
 	Backlog int
+	// Faults, when non-nil, injects inbound-segment faults per its
+	// deterministic plan: tcp.drop discards a segment before the state
+	// machine sees it (as corruption would), tcp.reset forges an RST
+	// onto one, aborting the connection mid-stream.
+	Faults *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -230,6 +236,19 @@ func (s *Stack) input(src string, data []byte) {
 		s.stats.BadSegments++
 		s.mu.Unlock()
 		return
+	}
+	// Injected segment faults act at the edge of the stack, before demux:
+	// a drop is indistinguishable from checksum-failed corruption, a
+	// forged RST exercises the abort path of whatever state the
+	// connection is in.
+	if s.cfg.Faults.Fire(faults.TCPDrop) {
+		s.mu.Lock()
+		s.stats.BadSegments++
+		s.mu.Unlock()
+		return
+	}
+	if s.cfg.Faults.Fire(faults.TCPReset) {
+		seg.Flags |= FlagRST
 	}
 	s.mu.Lock()
 	s.stats.SegsIn++
