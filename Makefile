@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race tier2 stress fuzz-smoke
+.PHONY: tier1 build vet test race tier2 stress overload-stress fuzz-smoke
 
 # tier1 is the repository's gate: everything must build, vet clean, and
 # pass tests, with the race detector over the concurrency-heavy packages.
@@ -19,13 +19,18 @@ race:
 	$(GO) test -race ./internal/core/... ./internal/stm/...
 
 # tier2 is the extended, non-gating suite (~30s): the randomized
-# scheduler stress tests under the race detector plus a short fuzz
-# smoke over every fuzz target. Failures print the seed to replay
-# (STRESS_SEED=<seed> make stress).
-tier2: stress fuzz-smoke
+# scheduler stress tests under the race detector, the seeded overload
+# smoke (a 4× load burst through admission control and the circuit
+# breaker, replayed for counter determinism), plus a short fuzz smoke
+# over every fuzz target. Failures print the seed to replay
+# (STRESS_SEED=<seed> make stress / make overload-stress).
+tier2: stress overload-stress fuzz-smoke
 
 stress:
 	$(GO) test -race -run 'Stress' -count=1 ./internal/core/
+
+overload-stress:
+	$(GO) test -race -run 'StressOverload' -count=1 -v ./internal/httpd/
 
 fuzz-smoke:
 	$(GO) test -run FuzzParseRequest -fuzz FuzzParseRequest -fuzztime 5s ./internal/httpd/

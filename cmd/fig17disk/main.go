@@ -20,6 +20,8 @@ func main() {
 	emitStats := flag.Bool("stats", false, "emit a JSON stats block per hybrid run")
 	faultSpec := flag.String("faults", "",
 		"deterministic fault plan for the hybrid runs: seed=N,rate=R[,<op>=R]")
+	supervise := flag.Bool("supervise", false,
+		"run hybrid reader threads under supervision: an exhausted read kills the thread and the supervisor restarts it (pairs with -faults)")
 	flag.Parse()
 
 	cfg := bench.DefaultFig17()
@@ -42,16 +44,25 @@ func main() {
 	if cfg.Faults.Active() {
 		fmt.Printf("faults: %s (hybrid runs only)\n", *faultSpec)
 	}
+	hybrid := bench.Fig17HybridStats
+	if *supervise {
+		hybrid = bench.Fig17HybridSupervised
+		fmt.Println("supervision: on (dead reader threads restart; see supervise.* in -stats)")
+	}
 	fmt.Println()
 	if !*emitStats {
-		pts := bench.Fig17(cfg, counts)
+		pts := make([]bench.Point, 0, len(counts))
+		for _, n := range counts {
+			mbps, _ := hybrid(cfg, n)
+			pts = append(pts, bench.Point{X: n, Hybrid: mbps, NPTL: bench.Fig17NPTL(cfg, n)})
+		}
 		bench.PrintSeries(os.Stdout, "threads", pts, "Hybrid (AIO)", "NPTL (pread)")
 		return
 	}
 	pts := make([]bench.Point, 0, len(counts))
 	runs := make([]bench.RunStats, 0, len(counts))
 	for _, n := range counts {
-		mbps, snap := bench.Fig17HybridStats(cfg, n)
+		mbps, snap := hybrid(cfg, n)
 		pts = append(pts, bench.Point{X: n, Hybrid: mbps, NPTL: bench.Fig17NPTL(cfg, n)})
 		runs = append(runs, bench.RunStats{
 			Figure: "fig17", System: "hybrid", X: n, MBps: mbps, Stats: snap,

@@ -22,6 +22,9 @@ func main() {
 	emitStats := flag.Bool("stats", false, "emit a JSON stats block per hybrid run")
 	faultSpec := flag.String("faults", "",
 		"deterministic fault plan for the hybrid runs: seed=N,rate=R[,<op>=R]")
+	overloadMode := flag.Bool("overload", false,
+		"run the overload table instead: goodput and p99 at 1x/2x/4x offered load, protection off and on")
+	overloadConns := flag.Int("overload-conns", 64, "capacity point (admission bound) for -overload")
 	flag.Parse()
 
 	cfg := bench.DefaultFig19()
@@ -35,6 +38,10 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Faults = fcfg
+	if *overloadMode {
+		runOverloadTable(cfg, *overloadConns, *emitStats)
+		return
+	}
 	var counts []int
 	for n := 1; n <= *maxConns; n *= 4 {
 		counts = append(counts, n)
@@ -68,6 +75,44 @@ func main() {
 	fmt.Println()
 	for _, rs := range runs {
 		if err := bench.WriteRunStats(os.Stdout, rs); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// runOverloadTable prints the overload companion to the figure: the
+// hybrid server held at a fixed capacity while the offered load is
+// multiplied past it, with and without the overload machinery.
+func runOverloadTable(cfg bench.Fig19Config, conns int, emitStats bool) {
+	fmt.Printf("Figure 19 (overload): goodput and p99 vs offered load, capacity %d conns\n", conns)
+	fmt.Printf("files=%d×%dKB cache=%dMB requests=%d per 1x\n",
+		cfg.Files, cfg.FileBytes>>10, cfg.CacheBytes>>20, cfg.TotalRequests)
+	fmt.Println()
+	fmt.Printf("%-8s %-11s %13s %12s %8s %8s %9s\n",
+		"offered", "protection", "goodput MB/s", "p99", "errors", "shed", "rejects")
+	runs := bench.Fig19OverloadTable(cfg, conns, []int{1, 2, 4})
+	for _, r := range runs {
+		prot := "off"
+		if r.Protected {
+			prot = "on"
+		}
+		fmt.Printf("%-8s %-11s %13.2f %12v %8d %8d %9d\n",
+			fmt.Sprintf("%dx", r.OfferedX), prot, r.GoodputMBps, r.P99,
+			r.Errors, r.Shed, r.Snapshot.Counter("kernel.backlog_rejects"))
+	}
+	if !emitStats {
+		return
+	}
+	fmt.Println()
+	for _, r := range runs {
+		system := "unprotected"
+		if r.Protected {
+			system = "protected"
+		}
+		if err := bench.WriteRunStats(os.Stdout, bench.RunStats{
+			Figure: "fig19-overload", System: system, X: r.OfferedX,
+			MBps: r.GoodputMBps, Stats: r.Snapshot,
+		}); err != nil {
 			panic(err)
 		}
 	}

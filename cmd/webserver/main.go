@@ -21,6 +21,7 @@ import (
 	"hybrid/internal/kernel"
 	"hybrid/internal/loadgen"
 	"hybrid/internal/netsim"
+	"hybrid/internal/overload"
 	"hybrid/internal/stats"
 	"hybrid/internal/tcp"
 	"hybrid/internal/vclock"
@@ -36,6 +37,10 @@ func main() {
 	emitStats := flag.Bool("stats", false, "dump the merged metrics snapshot as JSON")
 	faultSpec := flag.String("faults", "",
 		"deterministic fault plan: seed=N,rate=R[,<op>=R,oneshot:<op>=K]; empty disables")
+	admit := flag.Int("admit", 0,
+		"admission control: bound on in-flight connections (0 disables the overload machinery)")
+	shed := flag.Bool("shed", false,
+		"arm a circuit breaker on the disk path: uncached GETs shed with fast 503s while it is open (requires -admit)")
 	flag.Parse()
 
 	fcfg, err := faults.ParseSpec(*faultSpec)
@@ -56,6 +61,19 @@ func main() {
 	defer io.Close()
 
 	scfg := httpd.ServerConfig{CacheBytes: *cacheMB << 20}
+	if *admit > 0 {
+		ocfg := &httpd.OverloadConfig{MaxConns: *admit}
+		if *shed {
+			ocfg.Breaker = &overload.BreakerConfig{
+				FailureThreshold: 5,
+				Cooldown:         10 * time.Millisecond,
+			}
+		}
+		scfg.Overload = ocfg
+	} else if *shed {
+		fmt.Fprintln(os.Stderr, "webserver: -shed requires -admit")
+		os.Exit(2)
+	}
 	var in *faults.Injector
 	if fcfg.Active() {
 		// An active plan also arms the server's graceful-degradation
@@ -101,6 +119,13 @@ func main() {
 		hits, misses, 100*float64(hits)/float64(hits+misses))
 	fmt.Printf("disk:            %d requests, mean queue %.1f, head moved %d blocks\n",
 		d.Requests, float64(d.TotalQueue)/float64(max64(1, d.Dispatches)), d.SeekBlocks)
+	if lim := srv.Limiter(); lim != nil {
+		ls := lim.Metrics().Snapshot()
+		fmt.Printf("overload:        admitted %d (high-water %d/%d), shed %d, backlog rejects %d\n",
+			ls.Counter("admitted"), ls["inflight"].Max, *admit,
+			srv.Metrics().Snapshot().Counter("shed_fast"),
+			k.Metrics().Snapshot().Counter("backlog_rejects"))
+	}
 	if in != nil {
 		fmt.Printf("%s\n", in.Summary())
 	}
@@ -110,6 +135,12 @@ func main() {
 		snap.Merge("kernel", k.Metrics().Snapshot())
 		snap.Merge("disk", fs.Disk().Metrics().Snapshot())
 		snap.Merge("httpd", srv.Metrics().Snapshot())
+		if lim := srv.Limiter(); lim != nil {
+			snap.Merge("admission", lim.Metrics().Snapshot())
+		}
+		if b := srv.Breaker(); b != nil {
+			snap.Merge("breaker", b.Metrics().Snapshot())
+		}
 		if in != nil {
 			snap.Merge("faults", in.Metrics().Snapshot())
 		}

@@ -3,6 +3,7 @@ package bench
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hybrid/internal/core"
@@ -87,7 +88,22 @@ func Fig17HybridStats(cfg Fig17Config, threads int) (float64, stats.Snapshot) {
 	return fig17HybridStats(cfg, threads, disk.CLOOK)
 }
 
+// Fig17HybridSupervised is the robustness variant: the same workload on
+// a panic-trapping runtime, each reader thread under core.Supervise.
+// Where the plain run skips a block whose retries are exhausted, the
+// supervised run lets the failure kill the thread and the supervisor
+// restart it (bounded, with backoff) — the snapshot's supervise.restarts
+// and supervise.give_ups count the recoveries. Fault-free, the two
+// variants do identical work.
+func Fig17HybridSupervised(cfg Fig17Config, threads int) (float64, stats.Snapshot) {
+	return fig17Stats(cfg, threads, disk.CLOOK, true)
+}
+
 func fig17HybridStats(cfg Fig17Config, threads int, sched disk.Scheduler) (float64, stats.Snapshot) {
+	return fig17Stats(cfg, threads, sched, false)
+}
+
+func fig17Stats(cfg Fig17Config, threads int, sched disk.Scheduler, supervised bool) (float64, stats.Snapshot) {
 	clk := vclock.NewVirtual()
 	k := kernel.New(clk)
 	d := disk.NewWithScheduler(clk, disk.BenchGeometry(), sched)
@@ -96,7 +112,7 @@ func fig17HybridStats(cfg Fig17Config, threads int, sched disk.Scheduler) (float
 	if err != nil {
 		panic(err)
 	}
-	rt := core.NewRuntime(core.Options{Workers: 1, Clock: clk})
+	rt := core.NewRuntime(core.Options{Workers: 1, Clock: clk, TrapPanics: supervised})
 	defer rt.Shutdown()
 	io := hio.New(rt, k, fs)
 	defer io.Close()
@@ -106,7 +122,11 @@ func fig17HybridStats(cfg Fig17Config, threads int, sched disk.Scheduler) (float
 		k.SetFaults(in)
 		d.SetFaults(in)
 	}
-	mbps := fig17Run(cfg, threads, clk, rt, io, f, in)
+	var sup *superviseStats
+	if supervised {
+		sup = newSuperviseStats()
+	}
+	mbps := fig17Run(cfg, threads, clk, rt, io, f, in, sup)
 	snap := stats.Snapshot{}
 	snap.Merge("sched", rt.Stats().Snapshot())
 	snap.Merge("kernel", k.Metrics().Snapshot())
@@ -114,13 +134,33 @@ func fig17HybridStats(cfg Fig17Config, threads int, sched disk.Scheduler) (float
 	if in != nil {
 		snap.Merge("faults", in.Metrics().Snapshot())
 	}
+	if sup != nil {
+		snap.Merge("supervise", sup.reg.Snapshot())
+	}
 	return mbps, snap
+}
+
+// superviseStats counts the supervisor's restart decisions across the
+// run's threads.
+type superviseStats struct {
+	restarts atomic.Uint64
+	giveUps  atomic.Uint64
+	reg      *stats.Registry
+}
+
+func newSuperviseStats() *superviseStats {
+	s := &superviseStats{reg: stats.NewRegistry()}
+	s.reg.CounterFunc("restarts", s.restarts.Load)
+	s.reg.CounterFunc("give_ups", s.giveUps.Load)
+	return s
 }
 
 // fig17Run drives the monadic read workload and reports MB/s. With an
 // injector attached, each read gets bounded retries with backoff; a
-// block the disk refuses to deliver is skipped so the run completes.
-func fig17Run(cfg Fig17Config, threads int, clk *vclock.VirtualClock, rt *core.Runtime, io *hio.IO, f *kernel.File, in *faults.Injector) float64 {
+// block the disk refuses to deliver is skipped so the run completes —
+// unless sup is non-nil, in which case the exhausted failure kills the
+// thread and its supervisor restarts it from the top of its read list.
+func fig17Run(cfg Fig17Config, threads int, clk *vclock.VirtualClock, rt *core.Runtime, io *hio.IO, f *kernel.File, in *faults.Injector, sup *superviseStats) float64 {
 	totalReads := int(cfg.TotalReadBytes / int64(cfg.BlockBytes))
 	perThread, extra := totalReads/threads, totalReads%threads
 
@@ -136,25 +176,34 @@ func fig17Run(cfg Fig17Config, threads int, clk *vclock.VirtualClock, rt *core.R
 			}
 			offs := fig17Offsets(cfg, ti, reads)
 			buf := make([]byte, cfg.BlockBytes)
-			return core.Fork(core.Finally(
-				core.ForN(reads, func(i int) core.M[core.Unit] {
-					read := io.AIORead(f, offs[i], buf)
-					if in != nil {
-						read = core.Catch(
-							core.Retry(clk, core.Backoff{
-								Attempts: 4,
-								Base:     100 * time.Microsecond,
-								Factor:   2,
-							}, read),
-							func(error) core.M[int] { return core.Return(0) },
-						)
+			body := core.ForN(reads, func(i int) core.M[core.Unit] {
+				read := io.AIORead(f, offs[i], buf)
+				if in != nil {
+					read = core.Retry(clk, core.Backoff{
+						Attempts: 4,
+						Base:     100 * time.Microsecond,
+						Factor:   2,
+					}, read)
+					if sup == nil {
+						// Plain degradation: skip the block, keep going.
+						read = core.Catch(read, func(error) core.M[int] { return core.Return(0) })
 					}
-					return core.Bind(read, func(int) core.M[core.Unit] {
-						return core.Skip
-					})
-				}),
-				wg.Done(),
-			))
+				}
+				return core.Bind(read, func(int) core.M[core.Unit] {
+					return core.Skip
+				})
+			})
+			if sup != nil {
+				// Supervised degradation: a dead thread restarts from the
+				// top of its read list, a few times, with backoff.
+				body = core.Supervise(clk, core.RestartPolicy{
+					MaxRestarts: 3,
+					Backoff:     core.Backoff{Base: 200 * time.Microsecond, Factor: 2},
+					OnRestart:   func(int, error) { sup.restarts.Add(1) },
+					OnGiveUp:    func(error) { sup.giveUps.Add(1) },
+				}, body)
+			}
+			return core.Fork(core.Finally(body, wg.Done()))
 		}),
 		wg.Wait(),
 		core.Do(func() { done <- clk.Now() }),

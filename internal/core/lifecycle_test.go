@@ -187,6 +187,170 @@ func TestBlioInlineSentinel(t *testing.T) {
 	}
 }
 
+// Regression (PR 3): a panic that escapes trace construction — here, a
+// Catch handler that panics — used to kill the worker goroutine and the
+// process with it; the thread's resources (descriptors tracked by Ensure)
+// were unreleasable. Now the panic kills only the thread: its Ensure
+// cleanups run, the panic is reported uncaught, and the vclock hold and
+// live count balance exactly as for a completed thread.
+func TestHandlerPanicKillsOnlyThreadAndRunsCleanups(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk, TrapPanics: true})
+	defer rt.Shutdown()
+
+	// A stand-in FD table: the cleanup releases the thread's descriptor.
+	var fds atomic.Int64
+	fds.Add(1)
+	rt.Spawn(Ensure(func() { fds.Add(-1) },
+		Catch(
+			Do(func() { panic("inner effect panic") }),
+			func(error) M[Unit] { panic("handler panic") }, // escapes interpret
+		),
+	))
+	rt.WaitIdle()
+
+	if got := fds.Load(); got != 0 {
+		t.Fatalf("fd leaked by panicking thread: %d still open", got)
+	}
+	if got := rt.Live(); got != 0 {
+		t.Fatalf("Live = %d after panic-killed thread, want 0", got)
+	}
+	if busy := clk.Busy(); busy != 0 {
+		t.Fatalf("vclock busy = %d after panic-killed thread, want 0 (leaked hold)", busy)
+	}
+	errs := rt.UncaughtErrors()
+	if len(errs) != 1 {
+		t.Fatalf("UncaughtErrors = %v, want the handler panic", errs)
+	}
+	var pe *PanicError
+	if !asPanicError(errs[0], &pe) {
+		t.Fatalf("uncaught error %v is not a *PanicError", errs[0])
+	}
+	snap := rt.Stats().Snapshot()
+	if snap.Counter("panic_kills") != 1 || snap.Counter("abort_cleanups") != 1 {
+		t.Fatalf("panic_kills=%d abort_cleanups=%d, want 1/1",
+			snap.Counter("panic_kills"), snap.Counter("abort_cleanups"))
+	}
+	// The worker survived: the runtime still executes threads.
+	var alive atomic.Bool
+	rt.Run(Do(func() { alive.Store(true) }))
+	if !alive.Load() {
+		t.Fatal("worker loop died with the panicking thread")
+	}
+}
+
+func asPanicError(err error, target **PanicError) bool {
+	pe, ok := err.(*PanicError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+// Regression (PR 3): an uncaught exception releases the thread's Ensure
+// cleanups on the abort path — previously only a monadic Finally could
+// release resources, and only when the trace kept running.
+func TestEnsureRunsOnUncaughtException(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+
+	var released atomic.Bool
+	rt.Spawn(Ensure(func() { released.Store(true) },
+		Throw[Unit](errKaboom)))
+	rt.WaitIdle()
+
+	if !released.Load() {
+		t.Fatal("Ensure cleanup did not run for an uncaught exception")
+	}
+	if busy := clk.Busy(); busy != 0 {
+		t.Fatalf("vclock busy = %d, want 0", busy)
+	}
+}
+
+var errKaboom = &PanicError{Value: "kaboom"}
+
+// Regression (PR 3): a thread discarded from the blio queue at Shutdown
+// runs its registered cleanups — a dead thread's descriptors and
+// admission slots are given back even though its trace never resumes.
+func TestShutdownDiscardRunsCleanups(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, BlioWorkers: 1, Clock: clk})
+
+	// Occupy the only blio pool worker.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	rt.Spawn(Then(Blio(func() int { close(started); <-gate; return 0 }), Skip))
+	<-started
+
+	// This thread registers a cleanup, then queues behind the hostage in
+	// the blio pool; Shutdown discards it from the queue.
+	var released atomic.Bool
+	rt.Spawn(Ensure(func() { released.Store(true) },
+		Then(Blio(func() int { return 1 }), Skip)))
+	// Wait until the worker has interpreted the thread past its Ensure
+	// node and parked it in the blio queue — Live()==2 holds from spawn
+	// time, before the cleanup is even registered.
+	waitFor(t, func() bool {
+		return rt.Stats().Snapshot().Counter("blio_submits") == 2
+	})
+
+	shutdownDone := make(chan struct{})
+	go func() {
+		rt.Shutdown()
+		close(shutdownDone)
+	}()
+	waitFor(t, func() bool { return released.Load() })
+	close(gate)
+	<-shutdownDone
+
+	if got := rt.Live(); got != 0 {
+		t.Fatalf("Live = %d after Shutdown, want 0", got)
+	}
+	if busy := clk.Busy(); busy != 0 {
+		t.Fatalf("vclock busy = %d after Shutdown, want 0", busy)
+	}
+}
+
+// Ensure composes with ordinary control flow: success and caught
+// exceptions each run the cleanup exactly once, in LIFO order when
+// nested.
+func TestEnsureBalancedPaths(t *testing.T) {
+	rt := NewRuntime(Options{Workers: 1})
+	defer rt.Shutdown()
+
+	var order []string
+	var mu sync.Mutex
+	log := func(s string) func() {
+		return func() { mu.Lock(); order = append(order, s); mu.Unlock() }
+	}
+	rt.Run(Seq(
+		// Success path.
+		Then(Ensure(log("a"), Ensure(log("b"), Return(1))), Skip),
+		// Exception path: cleanup runs before the handler.
+		Catch(
+			Then(Ensure(log("c"), Throw[int](errKaboom)), Skip),
+			func(error) M[Unit] { return Do(log("handler")) },
+		),
+	))
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"b", "a", "c", "handler"}
+	if len(order) != len(want) {
+		t.Fatalf("cleanup order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("cleanup order %v, want %v", order, want)
+		}
+	}
+	snap := rt.Stats().Snapshot()
+	if snap.Counter("abort_cleanups") != 0 {
+		t.Fatalf("balanced Ensure paths hit the abort path: abort_cleanups=%d",
+			snap.Counter("abort_cleanups"))
+	}
+}
+
 // Acceptance: a WorkStealing runtime reports non-zero steal and dispatch
 // counters through Runtime.Stats().Snapshot().
 func TestWorkStealingStatsCounters(t *testing.T) {

@@ -246,3 +246,58 @@ func TestRetryReusableComputation(t *testing.T) {
 		t.Fatalf("body ran %d times, want 4 (two executions × fail+retry)", calls.Load())
 	}
 }
+
+// TestWithDeadlineExpiresMidBackoff: WithDeadline composed around Retry,
+// with the deadline landing inside a between-attempts sleep. The caller
+// sees ErrTimedOut at the deadline's exact virtual time — not the
+// body's error, and not after the backoff completes. The losing retry
+// thread is not cancelled (FirstOf discards the loser); it finishes its
+// schedule in the background and its final failure is absorbed, never
+// reaching the uncaught-error hook.
+func TestWithDeadlineExpiresMidBackoff(t *testing.T) {
+	clk := vclock.NewVirtual()
+	rt := NewRuntime(Options{Workers: 1, Clock: clk})
+	defer rt.Shutdown()
+
+	boom := errors.New("still failing")
+	var runs atomic.Int64
+	body := NBIOe(func() (int, error) { runs.Add(1); return 0, boom })
+	// Attempts land at t=0, 10ms, 30ms, 70ms, 150ms; the 15ms deadline
+	// falls inside the second backoff sleep (10ms → 30ms).
+	retry := Retry(clk, Backoff{Attempts: 5, Base: 10 * time.Millisecond, Factor: 2}, body)
+
+	var caught atomic.Value
+	var whenFired atomic.Int64
+	var runsAtFire atomic.Int64
+	done := make(chan struct{})
+	rt.Spawn(Catch(
+		Then(WithDeadline(clk, vclock.Time(15*time.Millisecond), retry), Skip),
+		func(err error) M[Unit] {
+			return Do(func() {
+				caught.Store(err)
+				whenFired.Store(int64(clk.Now()))
+				runsAtFire.Store(runs.Load())
+				close(done)
+			})
+		},
+	))
+	<-done
+	if !errors.Is(caught.Load().(error), ErrTimedOut) {
+		t.Fatalf("caught %v, want ErrTimedOut (the body's error must not win)", caught.Load())
+	}
+	if got := vclock.Time(whenFired.Load()); got != vclock.Time(15*time.Millisecond) {
+		t.Fatalf("deadline fired at %v, want exactly 15ms", got)
+	}
+	if got := runsAtFire.Load(); got != 2 {
+		t.Fatalf("body ran %d times before the deadline, want 2 (t=0 and t=10ms)", got)
+	}
+
+	// The abandoned retry drains its remaining schedule harmlessly.
+	rt.WaitIdle()
+	if got := runs.Load(); got != 5 {
+		t.Fatalf("abandoned retry ran %d attempts total, want its full 5", got)
+	}
+	if errs := rt.UncaughtErrors(); len(errs) != 0 {
+		t.Fatalf("abandoned retry's failure leaked as uncaught: %v", errs)
+	}
+}

@@ -18,6 +18,7 @@ type TCB struct {
 	id         uint64
 	trace      Trace
 	handlers   []func(error) Trace
+	cleanups   []func()     // Ensure frames, run LIFO on abnormal death
 	blioEffect func() Trace // set while the thread is queued for the blio pool
 }
 
@@ -98,6 +99,8 @@ type schedMetrics struct {
 	completed  *stats.Counter   // threads that terminated
 	uncaught   *stats.Counter   // exceptions that reached the top of a thread
 	rejected   *stats.Counter   // enqueues refused by a closed queue (Spawn vs Shutdown)
+	cleanups   *stats.Counter   // Ensure cleanups run on the abort path
+	panicKills *stats.Counter   // panics that escaped a trace and killed only their thread
 	batchFull  *stats.Counter   // dispatches that exhausted their step budget
 	batchUsed  *stats.Histogram // trace nodes interpreted per dispatch
 	readyDepth *stats.Histogram // ready-queue depth sampled every 16th dispatch
@@ -120,6 +123,8 @@ func newSchedMetrics(r *stats.Registry, workers int) *schedMetrics {
 		completed:  r.Counter("completed"),
 		uncaught:   r.Counter("uncaught"),
 		rejected:   r.Counter("enqueue_rejected"),
+		cleanups:   r.Counter("abort_cleanups"),
+		panicKills: r.Counter("panic_kills"),
 		batchFull:  r.Counter("batch_full"),
 		batchUsed:  r.Histogram("batch_used", stats.PowersOfTwo(1024)...),
 		readyDepth: r.Histogram("ready_depth", stats.PowersOfTwo(1<<20)...),
@@ -330,6 +335,21 @@ func (rt *Runtime) Shutdown() {
 }
 
 func (rt *Runtime) threadDone(tcb *TCB) {
+	// Whatever killed the thread — RetNode, uncaught exception, trapped
+	// panic, or a Shutdown discard — its still-registered Ensure cleanups
+	// run now, LIFO, so descriptors and admission slots held by a dead
+	// thread are always given back. A balanced thread reaches here with an
+	// empty stack; the loop costs nothing then.
+	for i := len(tcb.cleanups) - 1; i >= 0; i-- {
+		fn := tcb.cleanups[i]
+		tcb.cleanups[i] = nil
+		rt.m.cleanups.Inc()
+		func() {
+			defer func() { recover() }() // a broken cleanup must not block the rest
+			fn()
+		}()
+	}
+	tcb.cleanups = nil
 	rt.m.completed.Inc()
 	if rt.live.Add(-1) == 0 {
 		rt.idleMu.Lock()
@@ -385,7 +405,27 @@ func (rt *Runtime) workerMain(id int) {
 // much of the budget the dispatch used. On return the thread has been
 // re-enqueued, parked, or terminated, and the clock hold taken at enqueue
 // has been released or transferred.
+//
+// With TrapPanics set, step is also the runtime's last line of defense:
+// runEffect traps panics inside NBIO/Blio effects, but a panic raised
+// while building a trace — in a Catch handler, a continuation, or a
+// Suspend registration — escapes interpret with the dispatch's clock hold
+// still owned. Seed behaviour was to let it kill the worker goroutine
+// (and with it the process); now the panic kills only the offending
+// thread: its Ensure cleanups run, the panic is reported as an uncaught
+// *PanicError, and the clock hold and live count are released exactly as
+// for a completed thread.
 func (rt *Runtime) step(worker int, tcb *TCB) {
+	if rt.opts.TrapPanics {
+		defer func() {
+			if v := recover(); v != nil {
+				rt.m.panicKills.Inc()
+				rt.reportUncaught(tcb, &PanicError{Value: v})
+				rt.threadDone(tcb)
+				rt.clock.Exit()
+			}
+		}()
+	}
 	used := rt.interpret(worker, tcb)
 	rt.m.batchUsed.Observe(int64(used))
 }
@@ -441,6 +481,21 @@ func (rt *Runtime) interpret(worker int, tcb *TCB) (used int) {
 				panic("core: PopCatchNode with empty handler stack")
 			}
 			tcb.handlers = tcb.handlers[:len(tcb.handlers)-1]
+			tr = n.Cont
+
+		case *CleanupNode:
+			tcb.cleanups = append(tcb.cleanups, n.Fn)
+			tr = n.Cont
+
+		case *PopCleanupNode:
+			if len(tcb.cleanups) == 0 {
+				panic("core: PopCleanupNode with empty cleanup stack")
+			}
+			fn := tcb.cleanups[len(tcb.cleanups)-1]
+			tcb.cleanups = tcb.cleanups[:len(tcb.cleanups)-1]
+			if n.Run {
+				fn()
+			}
 			tr = n.Cont
 
 		case *SuspendNode:

@@ -84,15 +84,36 @@ type SuspendNode struct{ Park func(resume func(Trace)) }
 // completes.
 type BlioNode struct{ Effect func() Trace }
 
-func (*RetNode) traceNode()      {}
-func (*NBIONode) traceNode()     {}
-func (*ForkNode) traceNode()     {}
-func (*YieldNode) traceNode()    {}
-func (*ThrowNode) traceNode()    {}
-func (*CatchNode) traceNode()    {}
-func (*PopCatchNode) traceNode() {}
-func (*SuspendNode) traceNode()  {}
-func (*BlioNode) traceNode()     {}
+// CleanupNode pushes Fn onto the thread's cleanup stack: the runtime runs
+// every still-registered cleanup, LIFO, when the thread dies abnormally —
+// an uncaught exception, a trapped panic, or a discard at Shutdown. It is
+// the resource-release half of Ensure; Finally cannot cover those paths
+// because its cleanup is itself part of the trace, which abnormal death
+// never resumes.
+type CleanupNode struct {
+	Fn   func()
+	Cont Trace
+}
+
+// PopCleanupNode removes the most recent cleanup frame and, when Run is
+// set, executes it. Ensure's success and exception paths both pop-and-run,
+// so a cleanup fires exactly once whichever way the region exits.
+type PopCleanupNode struct {
+	Run  bool
+	Cont Trace
+}
+
+func (*RetNode) traceNode()        {}
+func (*NBIONode) traceNode()       {}
+func (*ForkNode) traceNode()       {}
+func (*YieldNode) traceNode()      {}
+func (*ThrowNode) traceNode()      {}
+func (*CatchNode) traceNode()      {}
+func (*PopCatchNode) traceNode()   {}
+func (*SuspendNode) traceNode()    {}
+func (*BlioNode) traceNode()       {}
+func (*CleanupNode) traceNode()    {}
+func (*PopCleanupNode) traceNode() {}
 
 // ret is the shared terminal node; threads never inspect it, so one value
 // suffices and keeps per-thread allocation minimal.

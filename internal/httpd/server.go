@@ -75,6 +75,11 @@ type ServerConfig struct {
 	// service time: past it the server sends a 503 and sheds the
 	// connection. Zero disables the deadline.
 	RequestDeadline vclock.Duration
+	// Overload, when non-nil, enables admission control, circuit-broken
+	// load shedding, connection supervision, and graceful drain (see
+	// OverloadConfig). Nil keeps the server byte-identical to the plain
+	// implementation.
+	Overload *OverloadConfig
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -123,6 +128,16 @@ type Server struct {
 	sheds       atomic.Uint64 // connections shed (503) by the deadline
 	unavailable atomic.Uint64 // 503 responses sent
 
+	// Overload state and counters (nil / registered only when
+	// cfg.Overload is set).
+	ovl          *overloadState
+	shedFast     atomic.Uint64 // uncached GETs shed by the open breaker
+	connPanics   atomic.Uint64 // supervised connection threads that panicked
+	forcedCloses atomic.Uint64 // connections force-closed by Drain
+	classCached  atomic.Uint64 // requests in the cached cost class
+	classDisk    atomic.Uint64 // requests in the blocking-disk cost class
+	classMeta    atomic.Uint64 // metadata-only requests (HEAD)
+
 	metrics *stats.Registry
 }
 
@@ -152,6 +167,15 @@ func NewServer(io *hio.IO, cfg ServerConfig) *Server {
 		s.metrics.CounterFunc("sheds", s.sheds.Load)
 		s.metrics.CounterFunc("resp_503", s.unavailable.Load)
 	}
+	if cfg.Overload != nil {
+		s.ovl = newOverloadState(io.Clock(), cfg.Overload.withDefaults())
+		s.metrics.CounterFunc("shed_fast", s.shedFast.Load)
+		s.metrics.CounterFunc("conn_panics", s.connPanics.Load)
+		s.metrics.CounterFunc("forced_closes", s.forcedCloses.Load)
+		s.metrics.CounterFunc("class_cached", s.classCached.Load)
+		s.metrics.CounterFunc("class_disk", s.classDisk.Load)
+		s.metrics.CounterFunc("class_meta", s.classMeta.Load)
+	}
 	return s
 }
 
@@ -176,28 +200,71 @@ func (s *Server) ActiveConns() int64 { return s.conns.Load() }
 // ListenAndServe binds addr on the kernel socket layer and serves
 // forever. Run it in its own monadic thread.
 func (s *Server) ListenAndServe(addr string) core.M[core.Unit] {
-	return core.Bind(s.io.Listen(addr, 1024), func(lfd kernel.FD) core.M[core.Unit] {
+	backlog := 1024
+	if s.ovl != nil && s.ovl.cfg.Backlog > 0 {
+		backlog = s.ovl.cfg.Backlog
+	}
+	return core.Bind(s.io.Listen(addr, backlog), func(lfd kernel.FD) core.M[core.Unit] {
+		if s.ovl != nil {
+			s.ovl.mu.Lock()
+			s.ovl.lfd = lfd
+			s.ovl.haveLFD = true
+			s.ovl.mu.Unlock()
+		}
 		return s.AcceptLoop(lfd)
 	})
 }
 
 // AcceptLoop accepts connections forever, forking a handler thread per
-// client — the server function of the paper's Figure 4.
+// client — the server function of the paper's Figure 4. In overload mode
+// the loop first passes the admission gate (in-flight bound plus accept
+// pacing), so a saturated server stops accepting and the kernel backlog
+// carries the back-pressure; when Drain closes the listener, the loop
+// ends cleanly instead of raising.
 func (s *Server) AcceptLoop(lfd kernel.FD) core.M[core.Unit] {
-	return core.Forever(
-		core.Bind(s.io.SockAccept(lfd), func(conn kernel.FD) core.M[core.Unit] {
-			return core.Fork(s.ServeTransport(SockTransport{IO: s.io, FD: conn}))
-		}),
+	if s.ovl == nil {
+		return core.Forever(
+			core.Bind(s.io.SockAccept(lfd), func(conn kernel.FD) core.M[core.Unit] {
+				return core.Fork(s.ServeTransport(SockTransport{IO: s.io, FD: conn}))
+			}),
+		)
+	}
+	loop := core.Forever(
+		core.Then(s.acquireSlot(),
+			core.OnException(
+				core.Bind(s.io.SockAccept(lfd), func(conn kernel.FD) core.M[core.Unit] {
+					return core.Fork(s.serveAdmitted(SockTransport{IO: s.io, FD: conn}))
+				}),
+				core.Do(s.releaseSlot),
+			)),
 	)
+	return core.Catch(loop, func(err error) core.M[core.Unit] {
+		if s.Draining() {
+			return core.Skip
+		}
+		return core.Throw[core.Unit](err)
+	})
 }
 
 // ServeTCP accepts connections from an application-level TCP listener
-// forever — the one-line transport switch.
+// forever — the one-line transport switch. Overload mode applies the
+// same admission gate as the socket accept loop.
 func (s *Server) ServeTCP(l *tcp.Listener) core.M[core.Unit] {
+	if s.ovl == nil {
+		return core.Forever(
+			core.Bind(l.AcceptM(), func(conn *tcp.Conn) core.M[core.Unit] {
+				return core.Fork(s.ServeTransport(TCPTransport{Conn: conn}))
+			}),
+		)
+	}
 	return core.Forever(
-		core.Bind(l.AcceptM(), func(conn *tcp.Conn) core.M[core.Unit] {
-			return core.Fork(s.ServeTransport(TCPTransport{Conn: conn}))
-		}),
+		core.Then(s.acquireSlot(),
+			core.OnException(
+				core.Bind(l.AcceptM(), func(conn *tcp.Conn) core.M[core.Unit] {
+					return core.Fork(s.serveAdmitted(TCPTransport{Conn: conn}))
+				}),
+				core.Do(s.releaseSlot),
+			)),
 	)
 }
 
@@ -255,6 +322,20 @@ func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
 	// connection gracefully — the paper's "I/O errors are handled
 	// gracefully using exceptions".
 	return core.Catch(serveOne(), func(err error) core.M[core.Unit] {
+		if s.ovl != nil && s.ovl.cfg.SuperviseConns {
+			var pe *core.PanicError
+			if errors.As(err, &pe) {
+				// A trapped panic is a handler bug, not an I/O error:
+				// close the transport and re-raise for the supervisor in
+				// serveAdmitted to account for it.
+				s.conns.Add(-1)
+				return core.Then(
+					core.Catch(core.Then(t.Close(), core.Skip),
+						func(error) core.M[core.Unit] { return core.Skip }),
+					core.Throw[core.Unit](err),
+				)
+			}
+		}
 		s.errors.Add(1)
 		s.conns.Add(-1)
 		return core.Catch(
@@ -300,6 +381,9 @@ func (s *Server) respond(t Transport, req *Request) core.M[bool] {
 
 	// HEAD: metadata only; the blocking open runs on the blio pool.
 	if req.Method == "HEAD" {
+		if s.ovl != nil {
+			s.classMeta.Add(1)
+		}
 		return core.Bind(
 			core.Catch(
 				core.Map(s.io.FileOpen(name), func(f *kernel.File) int64 { return f.Size() }),
@@ -321,6 +405,9 @@ func (s *Server) respond(t Transport, req *Request) core.M[bool] {
 	// Cache hit path: purely nonblocking.
 	if data, ok := s.cache.Get(name); ok {
 		s.cachedServes.Add(1)
+		if s.ovl != nil {
+			s.classCached.Add(1)
+		}
 		return core.Then(
 			core.Bind(t.Write(ResponseHead(200, int64(len(data)), keep)), func(int) core.M[core.Unit] {
 				return core.Bind(t.Write(data), func(n int) core.M[core.Unit] {
@@ -332,8 +419,25 @@ func (s *Server) respond(t Transport, req *Request) core.M[bool] {
 		)
 	}
 
-	// Miss: open (blocking pool) and stream via AIO, exactly the paper's
-	// send_file (Figure 13) with cleanup handled by Catch in the caller.
+	// Miss: the blocking-disk cost class. Under an open breaker the
+	// request is shed with an immediate 503 — cached requests above never
+	// reach this point, so shedding protects exactly the expensive path.
+	if s.ovl != nil {
+		s.classDisk.Add(1)
+		if s.ovl.breaker != nil {
+			if admit, _ := s.shedDisk(); !admit {
+				return s.sendError(t, 503, keep)
+			}
+			return s.observeDisk(s.respondDisk(t, name, keep))
+		}
+	}
+	return s.respondDisk(t, name, keep)
+}
+
+// respondDisk serves a cache-missing GET: open (blocking pool) and
+// stream via AIO, exactly the paper's send_file (Figure 13) with cleanup
+// handled by Catch in the caller.
+func (s *Server) respondDisk(t Transport, name string, keep bool) core.M[bool] {
 	return core.Bind(
 		core.Catch(
 			core.Map(s.io.FileOpen(name), func(f *kernel.File) *kernel.File { return f }),

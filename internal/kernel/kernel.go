@@ -138,6 +138,10 @@ type Stats struct {
 	PipeEAGAINs uint64
 	EpollWaits  uint64
 	Wakeups     uint64
+	// BacklogRejects counts connections refused because the listener's
+	// backlog was full — the kernel-side symptom of an overloaded accept
+	// loop, and the back-pressure signal admission control relies on.
+	BacklogRejects uint64
 }
 
 // New creates a kernel in the given timing domain.
@@ -167,6 +171,7 @@ func New(clock vclock.Clock) *Kernel {
 		{"pipe_eagains", func(s *Stats) uint64 { return s.PipeEAGAINs }},
 		{"epoll_waits", func(s *Stats) uint64 { return s.EpollWaits }},
 		{"wakeups", func(s *Stats) uint64 { return s.Wakeups }},
+		{"backlog_rejects", func(s *Stats) uint64 { return s.BacklogRejects }},
 	}
 	for _, c := range counters {
 		get := c.get

@@ -418,6 +418,46 @@ func TestBacklogOverflowRefused(t *testing.T) {
 	if _, err := k.Connect("b:1"); !errors.Is(err, ErrConnRefused) {
 		t.Fatalf("overflow connect: %v", err)
 	}
+	// The refusal is counted as back-pressure, distinct from no-listener
+	// and closed-listener refusals.
+	if got := k.Snapshot().BacklogRejects; got != 1 {
+		t.Fatalf("BacklogRejects = %d, want 1", got)
+	}
+	if _, err := k.Connect("nowhere:0"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("no-listener connect: %v", err)
+	}
+	if got := k.Snapshot().BacklogRejects; got != 1 {
+		t.Fatalf("BacklogRejects counted a no-listener refusal: %d", got)
+	}
+	snap := k.Metrics().Snapshot()
+	if got := snap.Counter("backlog_rejects"); got != 1 {
+		t.Fatalf("backlog_rejects metric = %d, want 1", got)
+	}
+}
+
+// Regression (PR 3): Listen used to clamp any backlog <= 0 to the default,
+// so a caller whose computed limit went negative listened with a 128-deep
+// backlog instead of failing. Zero still selects the default.
+func TestListenBacklogValidation(t *testing.T) {
+	k := newKernel()
+	if _, err := k.Listen("neg:1", -1); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("negative backlog: %v, want EINVAL", err)
+	}
+	// The failed listen must not claim the address.
+	lfd, err := k.Listen("neg:1", 0)
+	if err != nil {
+		t.Fatalf("zero backlog (default): %v", err)
+	}
+	l := func() *Listener {
+		e, err := k.lookup(lfd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.(*Listener)
+	}()
+	if l.max != DefaultBacklog {
+		t.Fatalf("zero backlog gave capacity %d, want DefaultBacklog %d", l.max, DefaultBacklog)
+	}
 }
 
 func TestListenerEpollReadiness(t *testing.T) {

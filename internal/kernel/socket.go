@@ -144,11 +144,21 @@ func (l *Listener) readinessLocked() Event {
 	return ev
 }
 
+// DefaultBacklog is the backlog capacity used when Listen is called with
+// backlog 0, mirroring the SOMAXCONN default.
+const DefaultBacklog = 128
+
 // Listen binds a listener to addr with the given backlog capacity and
 // returns its descriptor (watchable for EventRead = connection pending).
+// A backlog of 0 selects DefaultBacklog; a negative backlog is EINVAL —
+// it used to be clamped silently, hiding caller bugs where a computed
+// limit went negative.
 func (k *Kernel) Listen(addr string, backlog int) (FD, error) {
-	if backlog <= 0 {
-		backlog = 128
+	if backlog < 0 {
+		return 0, fmt.Errorf("listen %s: backlog %d: %w", addr, backlog, ErrInvalid)
+	}
+	if backlog == 0 {
+		backlog = DefaultBacklog
 	}
 	k.mu.Lock()
 	if _, taken := k.listeners[addr]; taken {
@@ -212,7 +222,13 @@ func (k *Kernel) Connect(addr string) (FD, error) {
 	server := &socketEnd{rx: c2s, tx: s2c}
 	l.mu.Lock()
 	if l.closed || len(l.backlog) >= l.max {
+		full := !l.closed
 		l.mu.Unlock()
+		if full {
+			k.statsMu.Lock()
+			k.stats.BacklogRejects++
+			k.statsMu.Unlock()
+		}
 		return 0, fmt.Errorf("connect %s: %w", addr, ErrConnRefused)
 	}
 	l.backlog = append(l.backlog, server)

@@ -13,6 +13,8 @@ import (
 	"hybrid/internal/hio"
 	"hybrid/internal/httpd"
 	"hybrid/internal/kernel"
+	"hybrid/internal/stats"
+	"hybrid/internal/vclock"
 )
 
 // Config parameterizes a run.
@@ -35,6 +37,17 @@ type Config struct {
 	// Bandwidth, if nonzero, charges ResponseBytes/Bandwidth per
 	// response, modelling the paper's 100 Mbps link.
 	Bandwidth int64
+	// MeasureLatency, when true, records each request's virtual-time
+	// latency (send to last body byte, microseconds) in a histogram
+	// readable via Latency(). Off by default: measuring adds clock-read
+	// nodes to every request's trace.
+	MeasureLatency bool
+	// ConnectRetries, when > 0, retries a refused connect that many
+	// times with exponential backoff (base ConnectBackoff, default 1ms)
+	// before the client gives up. Off by default: under overload the
+	// plain generator treats a full backlog as a dead client.
+	ConnectRetries int
+	ConnectBackoff time.Duration
 }
 
 // Generator drives the workload and accumulates counters.
@@ -44,14 +57,26 @@ type Generator struct {
 
 	Requests atomic.Uint64
 	Bytes    atomic.Uint64
+	Goodput  atomic.Uint64 // bytes from 2xx responses only
 	Errors   atomic.Uint64
 	Statuses [6]atomic.Uint64 // index status/100
+
+	lat *stats.Histogram // nil unless cfg.MeasureLatency
 }
 
 // New creates a generator over the client-side I/O layer.
 func New(io *hio.IO, cfg Config) *Generator {
-	return &Generator{io: io, cfg: cfg}
+	g := &Generator{io: io, cfg: cfg}
+	if cfg.MeasureLatency {
+		// Power-of-two microsecond buckets up to ~67s of virtual time.
+		g.lat = stats.NewRegistry().Histogram("latency_us", stats.PowersOfTwo(1<<26)...)
+	}
+	return g
 }
+
+// Latency is the per-request latency histogram in microseconds of
+// virtual time, or nil when Config.MeasureLatency is off.
+func (g *Generator) Latency() *stats.Histogram { return g.lat }
 
 // MakeFileset creates n pattern-backed files of the given size named
 // file-0 … file-(n-1) on fs (the paper's 128K × 16 KB fileset).
@@ -95,8 +120,21 @@ func (g *Generator) client(id int) core.M[core.Unit] {
 			return g.oneRequest(conn, name)
 		})
 	}
+	connect := g.io.SockConnect(g.cfg.Addr)
+	if g.cfg.ConnectRetries > 0 {
+		base := g.cfg.ConnectBackoff
+		if base <= 0 {
+			base = time.Millisecond
+		}
+		connect = core.Retry(g.io.Clock(), core.Backoff{
+			Attempts: g.cfg.ConnectRetries + 1,
+			Base:     base,
+			Factor:   2,
+			Max:      100 * base,
+		}, connect)
+	}
 	return core.Catch(
-		core.Bind(g.io.SockConnect(g.cfg.Addr), func(conn kernel.FD) core.M[core.Unit] {
+		core.Bind(connect, func(conn kernel.FD) core.M[core.Unit] {
 			return core.Finally(body(conn), g.io.CloseFD(conn))
 		}),
 		func(err error) core.M[core.Unit] {
@@ -149,14 +187,16 @@ func (g *Generator) oneRequest(conn kernel.FD, name string) core.M[core.Unit] {
 		})
 	}
 
+	var status int // set while parsing the head, read in the accounting step
 	sendReq := core.Bind(g.io.SockSend(conn, req), func(int) core.M[core.Unit] { return core.Skip })
-	return core.Bind(core.Then(sendReq, readHead()), func(head string) core.M[core.Unit] {
+	work := core.Bind(core.Then(sendReq, readHead()), func(head string) core.M[core.Unit] {
 		return core.Bind(
 			core.NBIOe(func() (int64, error) {
-				status, length, err := httpd.ParseResponseHead(head)
+				st, length, err := httpd.ParseResponseHead(head)
 				if err != nil {
 					return 0, err
 				}
+				status = st
 				if status >= 100 && status < 600 {
 					g.Statuses[status/100].Add(1)
 				}
@@ -172,10 +212,22 @@ func (g *Generator) oneRequest(conn kernel.FD, name string) core.M[core.Unit] {
 					core.Then(g.netDelay(length), core.Do(func() {
 						g.Requests.Add(1)
 						g.Bytes.Add(uint64(length))
+						if status/100 == 2 {
+							g.Goodput.Add(uint64(length))
+						}
 					})),
 				)
 			},
 		)
+	})
+	if g.lat == nil {
+		return work
+	}
+	clk := g.io.Clock()
+	return core.Bind(core.NBIO(clk.Now), func(start vclock.Time) core.M[core.Unit] {
+		return core.Then(work, core.Do(func() {
+			g.lat.Observe(int64(time.Duration(clk.Now()-start) / time.Microsecond))
+		}))
 	})
 }
 

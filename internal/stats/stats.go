@@ -117,6 +117,36 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum reports the total of all observations.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
+// Max reports the largest observation.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts:
+// it returns the upper bound of the bucket where the cumulative count
+// crosses q·Count, so the estimate errs toward the pessimistic side —
+// the right bias for latency SLO reporting. Observations in the overflow
+// bucket report the observed maximum. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max.Load()
+		}
+	}
+	return h.max.Load()
+}
+
 // ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
