@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race tier2 stress overload-stress fuzz-smoke
+.PHONY: tier1 build vet test race tier2 stress overload-stress fuzz-smoke bench bench-smoke
 
 # tier1 is the repository's gate: everything must build, vet clean, and
 # pass tests, with the race detector over the concurrency-heavy packages.
@@ -16,7 +16,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/stm/...
+	$(GO) test -race ./internal/core/... ./internal/stm/... \
+		./internal/tcp/ ./internal/httpd/ ./internal/bufpool/
 
 # tier2 is the extended, non-gating suite (~30s): the randomized
 # scheduler stress tests under the race detector, the seeded overload
@@ -38,3 +39,28 @@ fuzz-smoke:
 	$(GO) test -run FuzzParseResponseHead -fuzz FuzzParseResponseHead -fuzztime 5s ./internal/httpd/
 	$(GO) test -run FuzzVecModel -fuzz FuzzVecModel -fuzztime 5s ./internal/iovec/
 	$(GO) test -run FuzzVecSliceBounds -fuzz FuzzVecSliceBounds -fuzztime 5s ./internal/iovec/
+	$(GO) test -run FuzzVectorWriterEquivalence -fuzz FuzzVectorWriterEquivalence -fuzztime 5s ./internal/httpd/
+	$(GO) test -run FuzzBufpoolRoundtrip -fuzz FuzzBufpoolRoundtrip -fuzztime 5s ./internal/bufpool/
+
+# bench is the reproducible performance harness: the quick Figure 17/19
+# configurations plus the hot-path Go microbenchmarks with -benchmem,
+# written as machine-readable rows to BENCH_fig17.json/BENCH_fig19.json
+# (BENCH_LABEL tags the rows; -append preserves the committed
+# trajectory — run `$(GO) run ./cmd/benchjson -h` for one-off layouts).
+BENCH_LABEL ?= dev
+
+bench:
+	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -append
+	$(GO) test -run '^$$' -bench . -benchmem -count=1 ./internal/bench/
+
+# bench-smoke is the CI-sized slice: every benchmark runs once (catching
+# bit-rot), the allocation-budget pins diff allocs/op against the
+# checked-in bounds, and the microbenchmark rows land in
+# BENCH_smoke.json for artifact upload — the committed trajectory files
+# are never rewritten.
+# (-run '^$' keeps -benchtime=1x away from the testing.Benchmark-backed
+# budget test, which needs a full-length run to amortize setup)
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem -count=1 ./internal/bench/
+	$(GO) test -run 'Alloc' -count=1 ./internal/bench/ ./internal/httpd/ ./internal/stats/
+	$(GO) run ./cmd/benchjson -micro-only -label smoke -fig19 BENCH_smoke.json

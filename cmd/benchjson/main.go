@@ -1,0 +1,108 @@
+// benchjson runs the repository's performance benchmarks and writes the
+// machine-readable trajectory files BENCH_fig17.json and BENCH_fig19.json
+// (one bench.RunStats object per run, concatenated). Each record carries
+// the deterministic virtual-time throughput plus the wall-clock side —
+// wall ms, wall MB/s, virtual-time p99, and for the microbenchmarks the
+// -benchmem triple (ns/op, B/op, allocs/op) — so later PRs can prove
+// perf changes against the committed baseline instead of asserting them.
+//
+// Figure runs use the quick configurations: the trajectory tracks the
+// cost of simulating a fixed deterministic workload, not the figures'
+// full-scale curves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hybrid/internal/bench"
+)
+
+func main() {
+	label := flag.String("label", "dev", "trajectory label recorded on every row")
+	fig17Path := flag.String("fig17", "BENCH_fig17.json", "output file for Figure 17 rows")
+	fig19Path := flag.String("fig19", "BENCH_fig19.json", "output file for Figure 19 + micro rows")
+	appendOut := flag.Bool("append", false, "append to the output files instead of truncating")
+	microOnly := flag.Bool("micro-only", false, "run only the Go microbenchmarks")
+	flag.Parse()
+
+	var fig17Rows, fig19Rows []bench.RunStats
+
+	if !*microOnly {
+		// Figure 17 (quick): disk head scheduling at three thread counts.
+		cfg17 := bench.Fig17Quick()
+		for _, n := range []int{1, 64, 4096} {
+			start := time.Now()
+			mbps, _ := bench.Fig17HybridStats(cfg17, n)
+			wall := time.Since(start)
+			fig17Rows = append(fig17Rows, bench.RunStats{
+				Figure: "fig17", System: "hybrid", Label: *label, X: n, MBps: mbps,
+				WallMS:   float64(wall.Microseconds()) / 1e3,
+				WallMBps: float64(cfg17.TotalReadBytes) / float64(bench.MB) / wall.Seconds(),
+			})
+			fmt.Printf("fig17 hybrid threads=%-5d %7.3f MB/s (virtual)  wall %v\n", n, mbps, wall.Round(time.Millisecond))
+		}
+
+		// Figure 19 (quick): the web server under the disk-intensive and
+		// the mostly-cached workload, with per-request latency measured.
+		for _, w := range []struct {
+			name   string
+			cached bool
+		}{{"hybrid-disk", false}, {"hybrid-cached", true}} {
+			// Quick shape, but 16x the requests: the wall-clock side of a
+			// row needs a seconds-scale run to be comparable across PRs.
+			cfg19 := bench.Fig19Quick()
+			cfg19.TotalRequests = 8192
+			cfg19.Cached = w.cached
+			start := time.Now()
+			p := bench.Fig19HybridPerf(cfg19, 64)
+			wall := time.Since(start)
+			fig19Rows = append(fig19Rows, bench.RunStats{
+				Figure: "fig19", System: w.name, Label: *label, X: 64, MBps: p.MBps,
+				P99Us:    p.P99Us,
+				WallMS:   float64(wall.Microseconds()) / 1e3,
+				WallMBps: float64(p.Bytes) / float64(bench.MB) / wall.Seconds(),
+			})
+			fmt.Printf("fig19 %-14s conns=64 %7.3f MB/s (virtual)  p99 %dus  wall %v  %.1f MB/s (wall)\n",
+				w.name, p.MBps, p.P99Us, wall.Round(time.Millisecond),
+				float64(p.Bytes)/float64(bench.MB)/wall.Seconds())
+		}
+	}
+
+	// Go microbenchmarks: the allocation trajectory of the hot paths.
+	for _, m := range bench.Micros() {
+		rs := bench.RunMicro(m, *label)
+		fig19Rows = append(fig19Rows, rs)
+		fmt.Println(bench.FormatMicro(rs))
+	}
+
+	writeRows(*fig17Path, fig17Rows, *appendOut)
+	writeRows(*fig19Path, fig19Rows, *appendOut)
+}
+
+func writeRows(path string, rows []bench.RunStats, appendOut bool) {
+	if len(rows) == 0 {
+		return
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if appendOut {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	for _, rs := range rows {
+		if err := bench.WriteRunStats(f, rs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote %d rows to %s\n", len(rows), path)
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"hybrid/internal/bufpool"
 	"hybrid/internal/core"
 	"hybrid/internal/disk"
 	"hybrid/internal/faults"
@@ -135,6 +136,7 @@ func main() {
 		snap.Merge("kernel", k.Metrics().Snapshot())
 		snap.Merge("disk", fs.Disk().Metrics().Snapshot())
 		snap.Merge("httpd", srv.Metrics().Snapshot())
+		snap.Merge("bufpool", bufpool.Metrics().Snapshot())
 		if lim := srv.Limiter(); lim != nil {
 			snap.Merge("admission", lim.Metrics().Snapshot())
 		}
@@ -283,6 +285,7 @@ func runOverTCP(clk *vclock.VirtualClock, rt *core.Runtime, srv *httpd.Server, i
 		snap.Merge("sched", rt.Stats().Snapshot())
 		snap.Merge("tcp", stackS.Metrics().Snapshot())
 		snap.Merge("httpd", srv.Metrics().Snapshot())
+		snap.Merge("bufpool", bufpool.Metrics().Snapshot())
 		if in != nil {
 			snap.Merge("faults", in.Metrics().Snapshot())
 		}

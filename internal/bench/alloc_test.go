@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"testing"
+
+	"hybrid/internal/bufpool"
+	"hybrid/internal/iovec"
+	"hybrid/internal/tcp"
+)
+
+// Allocation budgets for the hot paths this package benchmarks. The
+// bounds carry headroom over the measured numbers (recorded in
+// EXPERIMENTS.md) so scheduler noise does not flake them, while still
+// failing loudly if a change reverts the zero-copy work: the pre-PR
+// cached-serve path cost 59 allocs/op and the segment roundtrip
+// allocated a fresh wire buffer and payload copy per segment.
+
+func TestServeCachedAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed budget check")
+	}
+	r := testing.Benchmark(BenchServeCached)
+	const maxAllocs, maxBytes = 24, 1536
+	if a := r.AllocsPerOp(); a > maxAllocs {
+		t.Fatalf("cached serve: %d allocs/op, budget %d", a, maxAllocs)
+	}
+	if b := r.AllocedBytesPerOp(); b > maxBytes {
+		t.Fatalf("cached serve: %d B/op, budget %d", b, maxBytes)
+	}
+}
+
+func TestSegmentRoundtripAllocs(t *testing.T) {
+	payload := make([]byte, 1024)
+	v := iovec.FromBytes(payload)
+	// One allocation per roundtrip: the decoded *Segment. The wire
+	// buffer is pooled and the payload is a borrowed view on both sides.
+	const maxAllocs = 2
+	n := testing.AllocsPerRun(500, func() {
+		seg := &tcp.Segment{
+			SrcPort: 4242, DstPort: 80, Seq: 7, Ack: 8,
+			Flags: tcp.FlagACK, Window: 1 << 16, Payload: v,
+		}
+		wire := bufpool.Get(seg.WireLen())
+		seg.EncodeTo(wire)
+		d, err := tcp.Decode(wire)
+		if err != nil || d.Payload.Len() != len(payload) {
+			t.Fatal("roundtrip failed")
+		}
+		bufpool.Put(wire)
+	})
+	if n > maxAllocs {
+		t.Fatalf("segment roundtrip allocates %v per run, want <= %d", n, maxAllocs)
+	}
+}

@@ -99,6 +99,15 @@ func fig19Site(cfg Fig19Config) (*vclock.VirtualClock, *kernel.Kernel, *kernel.F
 // runLoad drives the generator to completion and returns MB/s of virtual
 // time.
 func runLoad(clk *vclock.VirtualClock, rt *core.Runtime, io *hio.IO, cfg Fig19Config, conns int) float64 {
+	mbps, _ := runLoadGen(clk, rt, io, cfg, conns, false)
+	return mbps
+}
+
+// runLoadGen is runLoad exposing the generator (for latency readings).
+// measure enables per-request latency observation; it adds clock-read
+// nodes to every request's trace, so measured runs are a separate
+// trajectory from the plain figures.
+func runLoadGen(clk *vclock.VirtualClock, rt *core.Runtime, io *hio.IO, cfg Fig19Config, conns int, measure bool) (float64, *loadgen.Generator) {
 	per := cfg.TotalRequests / conns
 	if per < 1 {
 		per = 1
@@ -111,6 +120,7 @@ func runLoad(clk *vclock.VirtualClock, rt *core.Runtime, io *hio.IO, cfg Fig19Co
 		Seed:              cfg.Seed,
 		RTT:               cfg.RTT,
 		Bandwidth:         cfg.Bandwidth,
+		MeasureLatency:    measure,
 	})
 	start := clk.Now()
 	done := make(chan struct{})
@@ -125,9 +135,9 @@ func runLoad(clk *vclock.VirtualClock, rt *core.Runtime, io *hio.IO, cfg Fig19Co
 	<-done
 	elapsed := time.Duration(end - start)
 	if elapsed <= 0 || gen.Requests.Load() == 0 {
-		return math.NaN()
+		return math.NaN(), gen
 	}
-	return float64(gen.Bytes.Load()) / float64(MB) / elapsed.Seconds()
+	return float64(gen.Bytes.Load()) / float64(MB) / elapsed.Seconds(), gen
 }
 
 // Fig19Hybrid measures the paper's web server: monadic threads, AIO,
@@ -167,6 +177,44 @@ func Fig19HybridStats(cfg Fig19Config, conns int) (float64, stats.Snapshot) {
 		snap.Merge("faults", in.Metrics().Snapshot())
 	}
 	return mbps, snap
+}
+
+// Fig19Perf is one measured hybrid run for the perf trajectory: virtual
+// throughput, the virtual-time p99 request latency, total bytes served,
+// and the merged snapshot. Latency measurement is on, so the request
+// traces carry extra clock reads — compare Fig19Perf runs only with
+// other Fig19Perf runs.
+type Fig19Perf struct {
+	MBps  float64
+	P99Us int64
+	Bytes uint64
+	Stats stats.Snapshot
+}
+
+// Fig19HybridPerf runs the hybrid server like Fig19HybridStats but with
+// per-request latency measurement enabled.
+func Fig19HybridPerf(cfg Fig19Config, conns int) Fig19Perf {
+	clk, k, fs, rt, io := fig19Site(cfg)
+	defer rt.Shutdown()
+	defer io.Close()
+	scfg := httpd.ServerConfig{
+		CacheBytes: cfg.CacheBytes,
+		ChunkBytes: int(cfg.FileBytes),
+	}
+	srv := httpd.NewServer(io, scfg)
+	rt.Spawn(srv.ListenAndServe("web:80"))
+	mbps, gen := runLoadGen(clk, rt, io, cfg, conns, true)
+	snap := stats.Snapshot{}
+	snap.Merge("sched", rt.Stats().Snapshot())
+	snap.Merge("kernel", k.Metrics().Snapshot())
+	snap.Merge("disk", fs.Disk().Metrics().Snapshot())
+	snap.Merge("httpd", srv.Metrics().Snapshot())
+	return Fig19Perf{
+		MBps:  mbps,
+		P99Us: gen.Latency().Quantile(0.99),
+		Bytes: gen.Bytes.Load(),
+		Stats: snap,
+	}
 }
 
 // Fig19Apache measures the baseline: thread-per-connection blocking

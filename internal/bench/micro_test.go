@@ -1,0 +1,10 @@
+package bench
+
+import "testing"
+
+// go test -bench wrappers over the shared benchmark bodies (micro.go);
+// cmd/benchjson runs the same bodies programmatically.
+
+func BenchmarkServeCached(b *testing.B)      { BenchServeCached(b) }
+func BenchmarkSegmentRoundtrip(b *testing.B) { BenchSegmentRoundtrip(b) }
+func BenchmarkSpawnRecycle(b *testing.B)     { BenchSpawnRecycle(b) }

@@ -1,0 +1,163 @@
+// Package bufpool provides size-classed byte-buffer free lists over
+// sync.Pool for the runtime's hot paths: httpd connection read buffers
+// and disk-chunk staging, the Apache baseline's buffers, and the TCP
+// stack's wire-encode buffers.
+//
+// The paper's argument (§4, §5.2) is that an application-level runtime
+// wins benchmarks because it controls every hot path; handing each
+// connection's buffers to the garbage collector gives part of that win
+// back. Pooling changes only memory reuse — never the virtual clock or
+// the trace shape — so deterministic replays are unaffected.
+//
+// Ownership rules (see DESIGN.md "Performance"):
+//   - Get returns a buffer owned exclusively by the caller.
+//   - Put transfers ownership back; the caller must not retain any view
+//     of the buffer afterwards. Under -race builds the pool poisons
+//     returned buffers and panics on double puts to catch violations.
+//   - Buffers whose lifetime is unbounded (cache entries, iovec views
+//     still queued) must NOT be pooled — let the GC own them.
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hybrid/internal/stats"
+)
+
+// classSizes are the pooled capacities, smallest first. Get rounds up to
+// the nearest class; requests beyond the largest class fall through to
+// plain allocation. The classes cover the repository's buffer shapes:
+// 4 KiB connection read buffers, 16 KiB disk chunks, and wire segments
+// (MSS + header, under 2 KiB on the simulated Ethernet).
+var classSizes = [...]int{512, 2 << 10, 4 << 10, 16 << 10, 64 << 10}
+
+// Poison is the byte -race builds write over every returned buffer, so
+// a reader holding a view across Put sees nonsense instead of
+// plausibly-stale data (see poison_race.go).
+const Poison = 0xDB
+
+type class struct {
+	size int
+	pool sync.Pool // holds *[]byte boxes with a live buffer inside
+}
+
+var classes [len(classSizes)]class
+
+// boxes recycles the *[]byte headers that carry buffers in and out of
+// the class pools, so a Get/Put cycle allocates nothing in steady state.
+var boxes = sync.Pool{New: func() any { return new([]byte) }}
+
+var (
+	gets   atomic.Uint64 // Get calls
+	puts   atomic.Uint64 // Put calls
+	misses atomic.Uint64 // Gets not served from a pool (fresh allocation)
+)
+
+func init() {
+	for i, n := range classSizes {
+		classes[i].size = n
+	}
+}
+
+// classFor returns the smallest class with size >= n, or nil when n is
+// larger than every class.
+func classFor(n int) *class {
+	for i := range classes {
+		if n <= classes[i].size {
+			return &classes[i]
+		}
+	}
+	return nil
+}
+
+// Get returns a buffer of length n. Its capacity is the class size, so
+// subslices of the form b[:m] keep the capacity Put uses to find the
+// class again.
+func Get(n int) []byte {
+	gets.Add(1)
+	c := classFor(n)
+	if c == nil {
+		misses.Add(1)
+		return make([]byte, n)
+	}
+	if v := c.pool.Get(); v != nil {
+		bp := v.(*[]byte)
+		b := *bp
+		*bp = nil
+		boxes.Put(bp)
+		trackGet(b)
+		return b[:n]
+	}
+	misses.Add(1)
+	b := make([]byte, n, c.size)
+	return b
+}
+
+// Put returns a buffer obtained from Get to its class. The buffer may
+// have been resliced to a shorter length but must share the original
+// backing array from its start (cap(b) must still be the class size).
+// Buffers larger than every class (served by plain allocation) are
+// dropped for the GC. Put of a buffer that is not from this pool panics:
+// pooling a foreign buffer would poison memory someone else owns.
+func Put(b []byte) {
+	puts.Add(1)
+	if cap(b) == 0 {
+		panic("bufpool: Put of empty buffer")
+	}
+	c := classForCap(cap(b))
+	if c == nil {
+		if cap(b) > classSizes[len(classSizes)-1] {
+			return // oversize one-off allocation; GC owns it
+		}
+		panic(fmt.Sprintf("bufpool: Put of foreign buffer (cap %d is no class size)", cap(b)))
+	}
+	b = b[:cap(b)]
+	trackPut(b) // race builds: double-put check + poison
+	bp := boxes.Get().(*[]byte)
+	*bp = b
+	c.pool.Put(bp)
+}
+
+// classForCap returns the class whose size is exactly c, or nil.
+func classForCap(c int) *class {
+	for i := range classes {
+		if classes[i].size == c {
+			return &classes[i]
+		}
+	}
+	return nil
+}
+
+// Gets reports the number of Get calls.
+func Gets() uint64 { return gets.Load() }
+
+// Puts reports the number of Put calls.
+func Puts() uint64 { return puts.Load() }
+
+// Misses reports Gets served by a fresh allocation instead of a pooled
+// buffer (cold pool, or a request beyond the largest class).
+func Misses() uint64 { return misses.Load() }
+
+// Outstanding reports Get calls not yet matched by a Put — buffers the
+// callers still own. A steady-state leak shows up as monotonic growth.
+func Outstanding() int64 { return int64(gets.Load()) - int64(puts.Load()) }
+
+var (
+	metricsOnce sync.Once
+	metrics     *stats.Registry
+)
+
+// Metrics returns the pool's stats registry (gets / puts / misses
+// counters and the outstanding gauge), for merging into -stats output.
+func Metrics() *stats.Registry {
+	metricsOnce.Do(func() {
+		metrics = stats.NewRegistry()
+		metrics.CounterFunc("gets", Gets)
+		metrics.CounterFunc("puts", Puts)
+		metrics.CounterFunc("misses", Misses)
+		metrics.GaugeFunc("outstanding", Outstanding)
+	})
+	return metrics
+}

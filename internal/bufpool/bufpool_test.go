@@ -1,0 +1,132 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetLengthAndClassCapacity(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{1, 512}, {512, 512}, {513, 2 << 10}, {1485, 2 << 10},
+		{4 << 10, 4 << 10}, {5000, 16 << 10}, {64 << 10, 64 << 10},
+	}
+	for _, c := range cases {
+		b := Get(c.n)
+		if len(b) != c.n {
+			t.Errorf("Get(%d): len %d, want %d", c.n, len(b), c.n)
+		}
+		if cap(b) != c.wantCap {
+			t.Errorf("Get(%d): cap %d, want class %d", c.n, cap(b), c.wantCap)
+		}
+		Put(b)
+	}
+}
+
+func TestOversizeBypassesPool(t *testing.T) {
+	misses0 := Misses()
+	b := Get(1 << 20)
+	if len(b) != 1<<20 {
+		t.Fatalf("len %d", len(b))
+	}
+	if Misses() == misses0 {
+		t.Fatal("oversize Get should count as a miss")
+	}
+	Put(b) // must not panic: oversize buffers are dropped for the GC
+}
+
+func TestPutForeignBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put of a foreign buffer should panic")
+		}
+	}()
+	Put(make([]byte, 100)) // cap 100 matches no class
+}
+
+func TestCountersBalance(t *testing.T) {
+	g0, p0 := Gets(), Puts()
+	var bufs [][]byte
+	for i := 0; i < 32; i++ {
+		bufs = append(bufs, Get(4096))
+	}
+	for _, b := range bufs {
+		Put(b)
+	}
+	if got := Gets() - g0; got != 32 {
+		t.Fatalf("gets %d, want 32", got)
+	}
+	if got := Puts() - p0; got != 32 {
+		t.Fatalf("puts %d, want 32", got)
+	}
+}
+
+// TestReuseAfterPutPoisonDetectsStaleReader is the pool's core safety
+// property under -race builds: a caller that keeps reading a buffer
+// after Put sees Poison bytes, not its old data. Without -race the
+// check is compiled out and the test only asserts the build tag wiring.
+func TestReuseAfterPutPoisonDetectsStaleReader(t *testing.T) {
+	b := Get(512)
+	for i := range b {
+		b[i] = 0x5A
+	}
+	stale := b // a reader that (incorrectly) outlives the Put
+	Put(b)
+	if !RaceChecked {
+		t.Skip("poisoning is compiled in only under -race builds")
+	}
+	for i, v := range stale {
+		if v != Poison {
+			t.Fatalf("stale view byte %d = %#x, want poison %#x", i, v, Poison)
+		}
+	}
+}
+
+func TestDoublePutPanicsUnderRace(t *testing.T) {
+	if !RaceChecked {
+		t.Skip("double-put detection is compiled in only under -race builds")
+	}
+	b := Get(512)
+	Put(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Put of the same buffer should panic")
+		}
+	}()
+	Put(b)
+}
+
+// TestConcurrentGetPut hammers the pool from many goroutines; run under
+// the race detector (make race) it proves Get/Put handoffs are clean.
+func TestConcurrentGetPut(t *testing.T) {
+	const workers = 8
+	const rounds = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sizes := []int{512, 1485, 4096, 16 << 10}
+			for i := 0; i < rounds; i++ {
+				n := sizes[(w+i)%len(sizes)]
+				b := Get(n)
+				if len(b) != n {
+					t.Errorf("len %d, want %d", len(b), n)
+					return
+				}
+				// Exclusive ownership: concurrent writes to pooled buffers
+				// are a data race unless each buffer has one owner.
+				for j := 0; j < len(b); j += 128 {
+					b[j] = byte(w)
+				}
+				for j := 0; j < len(b); j += 128 {
+					if b[j] != byte(w) {
+						t.Errorf("buffer shared between owners")
+						return
+					}
+				}
+				Put(b)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,60 @@
+package bufpool
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBufpoolRoundtrip drives arbitrary Get/Put sequences and checks the
+// ownership contract: a Get of any size yields a writable buffer of
+// exactly that length whose contents survive until Put, regardless of
+// what other buffers of any class do in between.
+func FuzzBufpoolRoundtrip(f *testing.F) {
+	f.Add([]byte{1, 0}, []byte{16})
+	f.Add([]byte{255, 255, 0, 4}, []byte{0, 1, 2, 3})
+	f.Add([]byte{8, 8, 8}, []byte{7})
+	f.Fuzz(func(t *testing.T, sizes, fill []byte) {
+		if len(sizes) == 0 || len(sizes) > 16 {
+			t.Skip()
+		}
+		if len(fill) == 0 {
+			fill = []byte{0xA5}
+		}
+		held := make([][]byte, 0, len(sizes))
+		want := make([][]byte, 0, len(sizes))
+		for i, sb := range sizes {
+			// Sizes sweep from sub-class through beyond the largest class.
+			n := int(sb) << (i % 8)
+			b := Get(n)
+			if len(b) != n {
+				t.Fatalf("Get(%d): len %d", n, len(b))
+			}
+			pat := make([]byte, n)
+			for j := range pat {
+				pat[j] = fill[(i+j)%len(fill)]
+			}
+			copy(b, pat)
+			held = append(held, b)
+			want = append(want, pat)
+			// Interleave: return every other buffer immediately.
+			if i%2 == 1 {
+				last := len(held) - 1
+				if !bytes.Equal(held[last], want[last]) {
+					t.Fatalf("buffer %d corrupted before Put", last)
+				}
+				if cap(held[last]) > 0 {
+					Put(held[last])
+				}
+				held, want = held[:last], want[:last]
+			}
+		}
+		for i := range held {
+			if !bytes.Equal(held[i], want[i]) {
+				t.Fatalf("buffer %d corrupted while others cycled", i)
+			}
+			if cap(held[i]) > 0 {
+				Put(held[i])
+			}
+		}
+	})
+}

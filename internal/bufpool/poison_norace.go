@@ -1,0 +1,10 @@
+//go:build !race
+
+package bufpool
+
+// RaceChecked reports whether the pool's debug checks (put poisoning,
+// double-put detection) are compiled in; see poison_race.go.
+const RaceChecked = false
+
+func trackPut([]byte) {}
+func trackGet([]byte) {}

@@ -1,0 +1,47 @@
+//go:build race
+
+package bufpool
+
+import "sync"
+
+// RaceChecked reports whether the pool's debug checks (put poisoning,
+// double-put detection) are compiled in. They ride the -race build tag:
+// the race detector is when correctness tests run, and the checks' cost
+// (a global map and a full-buffer memset per Put) is unacceptable on the
+// production hot path.
+const RaceChecked = true
+
+var (
+	trackMu sync.Mutex
+	// pooled holds the buffers currently inside a class pool, keyed by
+	// backing-array identity. Holding the slice itself pins the array, so
+	// the address cannot be recycled for a fresh allocation while the key
+	// is live (which would fake a double put).
+	pooled = make(map[*byte][]byte)
+)
+
+// trackPut poisons the returned buffer and panics if it is already in
+// the pool. A caller that kept a view across Put reads Poison bytes
+// instead of silently-stale data; a caller that Puts twice dies here
+// instead of handing the same buffer to two owners.
+func trackPut(b []byte) {
+	key := &b[0]
+	trackMu.Lock()
+	if _, dup := pooled[key]; dup {
+		trackMu.Unlock()
+		panic("bufpool: double Put of the same buffer")
+	}
+	pooled[key] = b
+	trackMu.Unlock()
+	for i := range b {
+		b[i] = Poison
+	}
+}
+
+// trackGet releases the buffer from the pooled set as it is handed out.
+func trackGet(b []byte) {
+	b = b[:1]
+	trackMu.Lock()
+	delete(pooled, &b[0])
+	trackMu.Unlock()
+}

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // readyQueue abstracts the scheduler's task queue (Figure 14's arrows).
 // The default sharedQueue is the paper's single ready_queue; stealingQueue
@@ -134,10 +137,32 @@ type stealingQueue struct {
 	rr     int
 	total  int
 	closed bool
+
+	// slots[w] is worker w's one-thread buffer, the pushLocal fast path:
+	// pushLocal(w) is called only from worker w's goroutine (batch
+	// exhaustion), and pop(w) drains the slot first, so the common
+	// re-enqueue→dispatch cycle never touches the lock. The pointer is
+	// atomic because idle foreign workers and close() may still steal from
+	// a slot when every deque is dry. closedMirror and slotCount shadow
+	// closed/total so the lock-free paths can consult them.
+	slots        []ownerSlot
+	slotCount    atomic.Int64
+	closedMirror atomic.Bool
+}
+
+// ownerSlot is one worker's buffer, padded out to its own cache line so
+// adjacent workers' slots do not false-share. streak is owner-private.
+type ownerSlot struct {
+	t      atomic.Pointer[TCB]
+	streak int // consecutive slot dispatches, for fairness
+	_      [40]byte
 }
 
 func newStealingQueue(workers int) *stealingQueue {
-	q := &stealingQueue{deques: make([][]*TCB, workers)}
+	q := &stealingQueue{
+		deques: make([][]*TCB, workers),
+		slots:  make([]ownerSlot, workers),
+	}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -157,16 +182,32 @@ func (q *stealingQueue) push(t *TCB) bool {
 	return true
 }
 
-// pushLocal appends to the worker's own deque, so a batch-exhausted
-// thread resumes on the core whose cache it just warmed.
+// pushLocal hands a batch-exhausted thread back to the worker that was
+// just running it. Fast path: the worker's own slot, an atomic CAS with
+// no lock acquisition — the thread resumes on the core whose cache it
+// just warmed. If a Shutdown races the closedMirror read, the thread
+// lands in the slot anyway; close() and the owner's next pop both drain
+// slots, so it is either discarded or executes once more and is then
+// accounted normally — nothing leaks.
 func (q *stealingQueue) pushLocal(worker int, t *TCB) bool {
+	w := worker % len(q.deques)
+	if !q.closedMirror.Load() && q.slots[w].t.CompareAndSwap(nil, t) {
+		q.slotCount.Add(1)
+		q.cond.Signal() // an idle foreign worker may steal from the slot
+		return true
+	}
+	return q.pushLocalSlow(w, t)
+}
+
+// pushLocalSlow appends to the worker's deque under the lock: the slot was
+// occupied or being flushed for fairness. Reports false when closed.
+func (q *stealingQueue) pushLocalSlow(w int, t *TCB) bool {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
 		return false
 	}
-	i := worker % len(q.deques)
-	q.deques[i] = append(q.deques[i], t)
+	q.deques[w] = append(q.deques[w], t)
 	q.total++
 	q.mu.Unlock()
 	q.cond.Signal()
@@ -174,17 +215,39 @@ func (q *stealingQueue) pushLocal(worker int, t *TCB) bool {
 }
 
 func (q *stealingQueue) pop(worker int) (*TCB, bool, bool) {
+	w := worker % len(q.deques)
+	s := &q.slots[w]
+	// Owner slot first (lock-free). A thread could monopolize its worker
+	// by exhausting every batch straight back into the slot, so only one
+	// consecutive dispatch comes from it; the next one flushes the slot
+	// into the shared deque and fetches FIFO, restoring round-robin at a
+	// granularity of two batches.
+	if t := s.t.Swap(nil); t != nil {
+		q.slotCount.Add(-1)
+		if s.streak == 0 {
+			s.streak = 1
+			return t, false, true
+		}
+		s.streak = 0
+		if !q.pushLocalSlow(w, t) {
+			// Closed: nobody will drain the deque, so run the thread this
+			// one last time; its completion accounts for it.
+			return t, false, true
+		}
+	} else {
+		s.streak = 0
+	}
 	q.mu.Lock()
 	for {
-		for q.total == 0 && !q.closed {
+		for q.total == 0 && q.slotCount.Load() == 0 && !q.closed {
 			q.cond.Wait()
 		}
-		if q.total == 0 {
+		if q.total == 0 && q.slotCount.Load() == 0 {
 			q.mu.Unlock()
 			return nil, false, false
 		}
 		// Own deque first (FIFO for round-robin fairness within a worker)…
-		if w := worker % len(q.deques); len(q.deques[w]) > 0 {
+		if len(q.deques[w]) > 0 {
 			t := q.popFrom(w)
 			q.mu.Unlock()
 			return t, false, true
@@ -196,7 +259,12 @@ func (q *stealingQueue) pop(worker int) (*TCB, bool, bool) {
 				victim, best = i, len(d)
 			}
 		}
-		if victim == -1 {
+		if victim >= 0 {
+			t := q.popFrom(victim)
+			q.mu.Unlock()
+			return t, true, true
+		}
+		if q.total > 0 {
 			// total says there is work but every deque is empty: the
 			// counter drifted. Resynchronize and re-check under the wait
 			// loop instead of panicking inside popFrom(-1).
@@ -206,9 +274,24 @@ func (q *stealingQueue) pop(worker int) (*TCB, bool, bool) {
 			}
 			continue
 		}
-		t := q.popFrom(victim)
-		q.mu.Unlock()
-		return t, true, true
+		// Deques dry but a slot holds a thread: take our own (not a
+		// steal), else raid another worker's.
+		if t := s.t.Swap(nil); t != nil {
+			q.slotCount.Add(-1)
+			q.mu.Unlock()
+			return t, false, true
+		}
+		for i := range q.slots {
+			if i == w {
+				continue
+			}
+			if t := q.slots[i].t.Swap(nil); t != nil {
+				q.slotCount.Add(-1)
+				q.mu.Unlock()
+				return t, true, true
+			}
+		}
+		// Raced with another popper for the slot contents; wait again.
 	}
 }
 
@@ -229,10 +312,17 @@ func (q *stealingQueue) popFrom(i int) *TCB {
 func (q *stealingQueue) close() []*TCB {
 	q.mu.Lock()
 	q.closed = true
+	q.closedMirror.Store(true)
 	var drained []*TCB
 	for i, d := range q.deques {
 		drained = append(drained, d...)
 		q.deques[i] = nil
+	}
+	for i := range q.slots {
+		if t := q.slots[i].t.Swap(nil); t != nil {
+			q.slotCount.Add(-1)
+			drained = append(drained, t)
+		}
 	}
 	q.total = 0
 	q.mu.Unlock()
@@ -243,5 +333,5 @@ func (q *stealingQueue) close() []*TCB {
 func (q *stealingQueue) size() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.total
+	return q.total + int(q.slotCount.Load())
 }

@@ -212,8 +212,23 @@ func (rt *Runtime) Spawn(m M[Unit]) {
 	rt.spawnTrace(BuildTrace(m))
 }
 
+// tcbPool recycles thread control blocks through thread death and spawn,
+// so the dominant spawn/exit churn of short-lived threads (one per
+// request, per timer, per fork) stops allocating. A recycled TCB gets a
+// fresh id; the pool holds only fully-dead blocks whose trace, handler,
+// and cleanup state were cleared by threadDone.
+var tcbPool = sync.Pool{New: func() any { return new(TCB) }}
+
+// newTCB allocates or recycles a control block for a fresh thread.
+func (rt *Runtime) newTCB(tr Trace) *TCB {
+	tcb := tcbPool.Get().(*TCB)
+	tcb.id = rt.nextID.Add(1)
+	tcb.trace = tr
+	return tcb
+}
+
 func (rt *Runtime) spawnTrace(tr Trace) {
-	tcb := &TCB{id: rt.nextID.Add(1), trace: tr}
+	tcb := rt.newTCB(tr)
 	rt.live.Add(1)
 	rt.spawned.Add(1)
 	rt.enqueue(tcb)
@@ -356,6 +371,13 @@ func (rt *Runtime) threadDone(tcb *TCB) {
 		rt.idleCond.Broadcast()
 		rt.idleMu.Unlock()
 	}
+	// The block is fully dead: no caller touches it after threadDone.
+	// Clear every reference (a discarded thread can die mid-Catch with
+	// handlers still pushed) and recycle it for the next spawn.
+	tcb.trace = nil
+	tcb.handlers = nil
+	tcb.blioEffect = nil
+	tcbPool.Put(tcb)
 }
 
 func (rt *Runtime) reportUncaught(tcb *TCB, err error) {
@@ -442,7 +464,7 @@ func (rt *Runtime) interpret(worker int, tcb *TCB) (used int) {
 			tr = rt.runEffect(n.Effect)
 
 		case *ForkNode:
-			child := &TCB{id: rt.nextID.Add(1), trace: n.Child}
+			child := rt.newTCB(n.Child)
 			rt.live.Add(1)
 			rt.spawned.Add(1)
 			rt.m.forks.Inc()
@@ -504,7 +526,13 @@ func (rt *Runtime) interpret(worker int, tcb *TCB) (used int) {
 			// released only after Park returns, so even if resume runs
 			// synchronously the busy count never touches zero in between.
 			rt.m.parks.Inc()
+			id := tcb.id
 			n.Park(func(next Trace) {
+				if tcb.id != id {
+					// Stale resume from a buggy event source: the thread
+					// already died and its TCB was recycled for another.
+					return
+				}
 				rt.m.resumes.Inc()
 				tcb.trace = next
 				rt.enqueue(tcb)

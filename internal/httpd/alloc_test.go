@@ -1,0 +1,84 @@
+package httpd
+
+import (
+	"strings"
+	"testing"
+)
+
+// Allocation pins for the per-request parsing hot path. Bounds are the
+// measured cost with a little headroom — they exist to catch a change
+// that quietly reintroduces per-request garbage (the old ParseRequest
+// allocated a line slice, a field slice, and two lowered strings per
+// header), not to lock in exact runtime internals.
+
+const parseReq = "GET /file-123 HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\n\r\n"
+
+func TestParseRequestAllocs(t *testing.T) {
+	// One Request struct + the header map (hmap + one bucket): header
+	// names and values are substrings of head, interned where consulted.
+	const maxAllocs = 4
+	n := testing.AllocsPerRun(500, func() {
+		req, err := ParseRequest(parseReq)
+		if err != nil || len(req.Headers) != 2 {
+			t.Fatal("parse failed")
+		}
+	})
+	if n > maxAllocs {
+		t.Fatalf("ParseRequest allocates %v per run, want <= %d", n, maxAllocs)
+	}
+}
+
+func TestKeepAliveAllocs(t *testing.T) {
+	req, err := ParseRequest(parseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		if !req.KeepAlive() {
+			t.Fatal("want keep-alive")
+		}
+	}); n != 0 {
+		t.Fatalf("KeepAlive allocates %v per run, want 0", n)
+	}
+}
+
+func TestResponseHeadMemoAllocs(t *testing.T) {
+	// First render populates the memo; every later request for the same
+	// (status, length, keep) triple must return the shared head.
+	warm := ResponseHead(200, 16384, true)
+	if n := testing.AllocsPerRun(500, func() {
+		h := ResponseHead(200, 16384, true)
+		if len(h) != len(warm) {
+			t.Fatal("head changed")
+		}
+	}); n != 0 {
+		t.Fatalf("memoized ResponseHead allocates %v per run, want 0", n)
+	}
+	// Out-of-range keys bypass the memo but still render correctly.
+	if h := ResponseHead(200, 1<<53, true); !strings.Contains(string(h), "Content-Length: 9007199254740992") {
+		t.Fatalf("unmemoized head wrong: %q", h)
+	}
+}
+
+func TestHeadBufferSteadyStateAllocs(t *testing.T) {
+	// A persistent connection reusing one HeadBuffer reaches a steady
+	// state where feeding a head allocates only the head string itself
+	// (returned to the caller) — the accumulation buffer stops growing.
+	hb := &HeadBuffer{}
+	raw := []byte(parseReq)
+	for i := 0; i < 4; i++ { // reach capacity steady state
+		if _, err := hb.Feed(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const maxAllocs = 1
+	n := testing.AllocsPerRun(500, func() {
+		head, err := hb.Feed(raw)
+		if err != nil || head == "" {
+			t.Fatal("no head")
+		}
+	})
+	if n > maxAllocs {
+		t.Fatalf("steady-state Feed allocates %v per run, want <= %d", n, maxAllocs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"hybrid/internal/bufpool"
 	"hybrid/internal/kernel"
 	"hybrid/internal/nptl"
 )
@@ -114,12 +115,13 @@ func (a *ApacheLike) ListenAndServe(addr string) error {
 
 // serve handles one connection with blocking calls.
 func (a *ApacheLike) serve(t *nptl.Thread, conn kernel.FD) {
+	hb := &HeadBuffer{}
+	buf := bufpool.Get(connReadBytes)
 	defer func() {
 		t.Close(conn)
 		a.squeezeCache()
+		bufpool.Put(buf)
 	}()
-	hb := &HeadBuffer{}
-	buf := make([]byte, 4096)
 	for {
 		head, err := hb.Pending()
 		if err != nil {
@@ -191,24 +193,26 @@ func (a *ApacheLike) respond(t *nptl.Thread, conn kernel.FD, req *Request) (bool
 	if err := t.WriteAll(conn, ResponseHead(200, size, keep)); err != nil {
 		return false, err
 	}
-	assembled := make([]byte, 0, size)
-	chunk := make([]byte, a.cfg.ChunkBytes)
+	// The page-cache model caches every file it streams (Resize evicts),
+	// so reads land straight in the future cache entry; a stream cut
+	// short by a zero read caches the prefix delivered, as the
+	// assemble-by-append loop this replaces did.
+	ck := newChunker(size, size, a.cfg.ChunkBytes)
 	for off := int64(0); off < size; {
-		n, err := t.Pread(f, chunk, off)
+		n, err := t.Pread(f, ck.window(off), off)
 		if err != nil {
 			return false, err
 		}
 		if n == 0 {
 			break
 		}
-		if err := t.WriteAll(conn, chunk[:n]); err != nil {
+		if err := t.WriteAll(conn, ck.view(off, n)); err != nil {
 			return false, err
 		}
-		assembled = append(assembled, chunk[:n]...)
 		a.bytesOut.Add(uint64(n))
 		off += int64(n)
 	}
-	a.cache.Put(name, assembled)
+	a.cache.Put(name, ck.assembled())
 	return keep, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Request is a parsed HTTP request.
@@ -28,46 +29,125 @@ type Request struct {
 // KeepAlive reports whether the connection should persist after the
 // response (HTTP/1.1 default yes; HTTP/1.0 requires the header).
 func (r *Request) KeepAlive() bool {
-	c := strings.ToLower(r.Headers["connection"])
+	c := r.Headers["connection"]
 	switch r.Version {
 	case "HTTP/1.1":
-		return c != "close"
+		return !tokenIs(c, "close")
 	default:
-		return c == "keep-alive"
+		return tokenIs(c, "keep-alive")
 	}
+}
+
+// tokenIs reports strings.ToLower(v) == lower without allocating on the
+// all-ASCII path. lower must be lowercase ASCII.
+func tokenIs(v, lower string) bool {
+	for i := 0; i < len(v); i++ {
+		if v[i] >= 0x80 {
+			// Unicode case mapping can change byte counts; defer to the
+			// library for exact ToLower semantics.
+			return strings.ToLower(v) == lower
+		}
+	}
+	if len(v) != len(lower) {
+		return false
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ErrMalformedRequest reports an unparsable request head.
 var ErrMalformedRequest = errors.New("httpd: malformed request")
 
 // ParseRequest parses a request head (everything through the blank line,
-// CRLF-delimited).
+// CRLF-delimited). It scans in place — header names and values are
+// substrings of head, and common lowercase header names are interned —
+// so a well-formed request costs only the Request, its header map, and
+// the map's entries.
 func ParseRequest(head string) (*Request, error) {
-	lines := strings.Split(strings.TrimSuffix(head, "\r\n"), "\r\n")
-	if len(lines) == 0 {
-		return nil, ErrMalformedRequest
+	s := strings.TrimSuffix(head, "\r\n")
+
+	// Request line: exactly three space-separated fields (so exactly two
+	// spaces — consecutive spaces would make an empty fourth field) with
+	// an HTTP version marker.
+	line, rest := nextLine(s)
+	i1 := strings.IndexByte(line, ' ')
+	var i2 int
+	if i1 >= 0 {
+		i2 = strings.IndexByte(line[i1+1:], ' ')
 	}
-	parts := strings.Split(lines[0], " ")
-	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
-		return nil, fmt.Errorf("%w: request line %q", ErrMalformedRequest, lines[0])
+	if i1 < 0 || i2 < 0 {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformedRequest, line)
+	}
+	version := line[i1+1+i2+1:]
+	if strings.IndexByte(version, ' ') >= 0 || !strings.HasPrefix(version, "HTTP/") {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformedRequest, line)
 	}
 	req := &Request{
-		Method:  parts[0],
-		Path:    parts[1],
-		Version: parts[2],
-		Headers: make(map[string]string, len(lines)-1),
+		Method:  line[:i1],
+		Path:    line[i1+1 : i1+1+i2],
+		Version: version,
+		Headers: make(map[string]string, 4),
 	}
-	for _, l := range lines[1:] {
-		if l == "" {
+	for rest != "" {
+		line, rest = nextLine(rest)
+		if line == "" {
 			continue
 		}
-		i := strings.IndexByte(l, ':')
+		i := strings.IndexByte(line, ':')
 		if i < 0 {
-			return nil, fmt.Errorf("%w: header %q", ErrMalformedRequest, l)
+			return nil, fmt.Errorf("%w: header %q", ErrMalformedRequest, line)
 		}
-		req.Headers[strings.ToLower(strings.TrimSpace(l[:i]))] = strings.TrimSpace(l[i+1:])
+		req.Headers[lowerHeaderKey(strings.TrimSpace(line[:i]))] = strings.TrimSpace(line[i+1:])
 	}
 	return req, nil
+}
+
+// nextLine splits s at the first CRLF; rest is empty on the last line.
+func nextLine(s string) (line, rest string) {
+	if i := strings.Index(s, "\r\n"); i >= 0 {
+		return s[:i], s[i+2:]
+	}
+	return s, ""
+}
+
+// lowerHeaderKey is strings.ToLower with the allocations taken off the
+// common path: an already-lowercase ASCII key is returned as is, and the
+// header names this package's servers and clients actually consult are
+// interned.
+func lowerHeaderKey(s string) string {
+	ascii, hasUpper := true, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 {
+			ascii = false
+			break
+		}
+		if c >= 'A' && c <= 'Z' {
+			hasUpper = true
+		}
+	}
+	if ascii {
+		if !hasUpper {
+			return s
+		}
+		switch {
+		case tokenIs(s, "host"):
+			return "host"
+		case tokenIs(s, "connection"):
+			return "connection"
+		case tokenIs(s, "content-length"):
+			return "content-length"
+		}
+	}
+	return strings.ToLower(s)
 }
 
 // HeadBuffer accumulates bytes until a full request head is available.
@@ -137,8 +217,44 @@ var statusText = map[int]string{
 }
 
 // ResponseHead renders a response status line and headers for a body of
-// the given length.
+// the given length. Rendered heads are memoized — a static-file workload
+// cycles through a handful of (status, length, keep-alive) triples — so
+// the hot path returns a shared slice that callers must treat as
+// read-only (every caller writes it to a transport, which never mutates).
 func ResponseHead(status int, contentLength int64, keepAlive bool) []byte {
+	if status >= 0 && status < 1000 && contentLength >= 0 && contentLength < 1<<52 {
+		key := int64(status)<<53 | contentLength
+		if keepAlive {
+			key |= 1 << 52
+		}
+		respHeads.mu.RLock()
+		h, ok := respHeads.m[key]
+		respHeads.mu.RUnlock()
+		if ok {
+			return h
+		}
+		h = renderResponseHead(status, contentLength, keepAlive)
+		respHeads.mu.Lock()
+		if respHeads.m == nil {
+			respHeads.m = make(map[int64][]byte)
+		}
+		// Bound the memo so adversarial length diversity cannot grow it
+		// without limit; misses past the cap just render each time.
+		if len(respHeads.m) < 4096 {
+			respHeads.m[key] = h
+		}
+		respHeads.mu.Unlock()
+		return h
+	}
+	return renderResponseHead(status, contentLength, keepAlive)
+}
+
+var respHeads struct {
+	mu sync.RWMutex
+	m  map[int64][]byte
+}
+
+func renderResponseHead(status int, contentLength int64, keepAlive bool) []byte {
 	reason := statusText[status]
 	if reason == "" {
 		reason = "Unknown"

@@ -7,8 +7,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hybrid/internal/bufpool"
 	"hybrid/internal/core"
 	"hybrid/internal/hio"
+	"hybrid/internal/iovec"
 	"hybrid/internal/kernel"
 	"hybrid/internal/stats"
 	"hybrid/internal/tcp"
@@ -45,6 +47,24 @@ type TCPTransport struct{ Conn *tcp.Conn }
 func (t TCPTransport) Read(p []byte) core.M[int]  { return t.Conn.ReadM(p) }
 func (t TCPTransport) Write(p []byte) core.M[int] { return t.Conn.WriteM(p) }
 func (t TCPTransport) Close() core.M[core.Unit]   { return t.Conn.CloseM() }
+
+// VectorWriter is an optional Transport capability: WriteOwned sends a
+// buffer whose storage the caller promises never to mutate, so the
+// transport may alias it instead of copying. The TCP transport threads
+// it through the stack's vectored send path — segments reference the
+// response payload in place, the zero-copy half of §4.3's "avoiding
+// unnecessary copies".
+type VectorWriter interface {
+	WriteOwned(p []byte) core.M[int]
+}
+
+// WriteOwned queues p by reference via the vectored write path. Its
+// trace is node-for-node the same as Write's — TryWriteV accepts
+// exactly the prefix TryWrite would copy — so the transport switch
+// changes no scheduling decisions.
+func (t TCPTransport) WriteOwned(p []byte) core.M[int] {
+	return core.Map(t.Conn.WriteVM(iovec.FromBytes(p)), func(core.Unit) int { return len(p) })
+}
 
 // ServerConfig tunes the hybrid server.
 type ServerConfig struct {
@@ -268,66 +288,99 @@ func (s *Server) ServeTCP(l *tcp.Listener) core.M[core.Unit] {
 	)
 }
 
+// connReadBytes is the per-connection input buffer size (a bufpool
+// class, so the buffer recycles across connections).
+const connReadBytes = 4096
+
 // ServeTransport handles one connection: parse requests, serve files,
 // repeat while keep-alive, and on any I/O exception close cleanly.
+//
+// The request loop is written in direct trace style: its nodes and
+// continuations are allocated once per connection and reused for every
+// keep-alive request, instead of reconstructing an equivalent closure
+// graph per request the way the combinator spelling does. Trace nodes
+// are immutable to the scheduler (forcing one only calls its Effect), so
+// re-entering the pending node IS serving the next request. Values that
+// vary between runs (the last read count, the last extracted head)
+// thread through connection-local variables that earlier nodes set
+// before later nodes read. The emitted node sequence is exactly the one
+// the combinator spelling produced.
 func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
 	s.conns.Add(1)
 	hb := &HeadBuffer{}
-	buf := make([]byte, 4096)
+	buf := bufpool.Get(connReadBytes)
 
-	var serveOne func() core.M[core.Unit]
-
-	// readHead accumulates input until a full request head is parsed.
-	var readHead func() core.M[*Request]
-	readHead = func() core.M[*Request] {
-		return core.Bind(
-			core.NBIOe(func() (string, error) { return hb.Pending() }),
-			func(head string) core.M[*Request] {
-				if head != "" {
-					return core.NBIOe(func() (*Request, error) { return ParseRequest(head) })
-				}
-				return core.Bind(t.Read(buf), func(n int) core.M[*Request] {
-					if n == 0 {
-						return core.Return[*Request](nil) // clean EOF
-					}
-					return core.Bind(
-						core.NBIOe(func() (string, error) { return hb.Feed(buf[:n]) }),
-						func(head string) core.M[*Request] {
-							if head == "" {
-								return readHead()
-							}
-							return core.NBIOe(func() (*Request, error) { return ParseRequest(head) })
-						},
-					)
-				})
-			},
+	serveLoop := func(k func(core.Unit) core.Trace) core.Trace {
+		var (
+			nRead   int    // set by the read step, consumed by the feed node
+			headStr string // set when a full head is extracted, consumed by parse
 		)
-	}
+		// The connection ends at most once, so its close trace can be
+		// built up front (building an M is pure; only forcing it acts).
+		closeTrace := core.Then(t.Close(), core.Do(func() {
+			s.conns.Add(-1)
+			bufpool.Put(buf)
+		}))(k)
 
-	serveOne = func() core.M[core.Unit] {
-		return core.Bind(readHead(), func(req *Request) core.M[core.Unit] {
-			if req == nil {
-				return core.Then(t.Close(), core.Do(func() { s.conns.Add(-1) }))
+		var pendingNode, feedNode, parseNode *core.NBIONode
+		afterRespond := func(keep bool) core.Trace {
+			if keep {
+				return pendingNode // next request on this connection
 			}
-			return core.Bind(s.respondBounded(t, req), func(keep bool) core.M[core.Unit] {
-				if keep {
-					return serveOne()
-				}
-				return core.Then(t.Close(), core.Do(func() { s.conns.Add(-1) }))
-			})
+			return closeTrace
+		}
+		parseNode = &core.NBIONode{Effect: func() core.Trace {
+			req, err := ParseRequest(headStr)
+			if err != nil {
+				return &core.ThrowNode{Err: err}
+			}
+			return s.respondBounded(t, req)(afterRespond)
+		}}
+		feedNode = &core.NBIONode{Effect: func() core.Trace {
+			head, err := hb.Feed(buf[:nRead])
+			if err != nil {
+				return &core.ThrowNode{Err: err}
+			}
+			if head == "" {
+				return pendingNode // need more input for this head
+			}
+			headStr = head
+			return parseNode
+		}}
+		readTrace := t.Read(buf)(func(n int) core.Trace {
+			if n == 0 {
+				return closeTrace // clean EOF
+			}
+			nRead = n
+			return feedNode
 		})
+		pendingNode = &core.NBIONode{Effect: func() core.Trace {
+			head, err := hb.Pending()
+			if err != nil {
+				return &core.ThrowNode{Err: err}
+			}
+			if head != "" {
+				headStr = head
+				return parseNode
+			}
+			return readTrace
+		}}
+		return pendingNode
 	}
 
 	// Any exception (EPIPE, reset, malformed request) ends the
 	// connection gracefully — the paper's "I/O errors are handled
-	// gracefully using exceptions".
-	return core.Catch(serveOne(), func(err error) core.M[core.Unit] {
+	// gracefully using exceptions". The exception path never reached the
+	// close trace's accounting node, so the read buffer is recycled here.
+	return core.Catch(core.M[core.Unit](serveLoop), func(err error) core.M[core.Unit] {
 		if s.ovl != nil && s.ovl.cfg.SuperviseConns {
 			var pe *core.PanicError
 			if errors.As(err, &pe) {
 				// A trapped panic is a handler bug, not an I/O error:
 				// close the transport and re-raise for the supervisor in
-				// serveAdmitted to account for it.
+				// serveAdmitted to account for it. The buffer is left to
+				// the garbage collector — after a panic mid-handler its
+				// state is not worth reasoning about.
 				s.conns.Add(-1)
 				return core.Then(
 					core.Catch(core.Then(t.Close(), core.Skip),
@@ -338,6 +391,7 @@ func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
 		}
 		s.errors.Add(1)
 		s.conns.Add(-1)
+		bufpool.Put(buf)
 		return core.Catch(
 			core.Then(t.Close(), core.Skip),
 			func(error) core.M[core.Unit] { return core.Skip },
@@ -402,21 +456,33 @@ func (s *Server) respond(t Transport, req *Request) core.M[bool] {
 		)
 	}
 
-	// Cache hit path: purely nonblocking.
+	// Cache hit path: purely nonblocking. Cache entries and memoized
+	// response heads are immutable, so a transport that can send by
+	// reference (VectorWriter) serves the hit zero-copy: the bytes the
+	// client receives were written exactly once, at cache fill. The two
+	// writes are sequenced in direct trace style — head write, body
+	// write, deliver keep — the same nodes the combinator spelling
+	// emits, minus its intermediate closures on the hottest path.
 	if data, ok := s.cache.Get(name); ok {
 		s.cachedServes.Add(1)
 		if s.ovl != nil {
 			s.classCached.Add(1)
 		}
-		return core.Then(
-			core.Bind(t.Write(ResponseHead(200, int64(len(data)), keep)), func(int) core.M[core.Unit] {
-				return core.Bind(t.Write(data), func(n int) core.M[core.Unit] {
+		head := ResponseHead(200, int64(len(data)), keep)
+		var writeHead, writeData core.M[int]
+		if vw, ok := t.(VectorWriter); ok {
+			writeHead, writeData = vw.WriteOwned(head), vw.WriteOwned(data)
+		} else {
+			writeHead, writeData = t.Write(head), t.Write(data)
+		}
+		return func(k func(bool) core.Trace) core.Trace {
+			return writeHead(func(int) core.Trace {
+				return writeData(func(n int) core.Trace {
 					s.bytesOut.Add(uint64(n))
-					return core.Skip
+					return k(keep)
 				})
-			}),
-			core.Return(keep),
-		)
+			})
+		}
 	}
 
 	// Miss: the blocking-disk cost class. Under an open breaker the
@@ -474,43 +540,19 @@ func (s *Server) respondDisk(t Transport, name string, keep bool) core.M[bool] {
 // DiskAdmissions reports how many requests entered the bounded disk path.
 func (s *Server) DiskAdmissions() uint64 { return s.diskWaits.Load() }
 
-// sendFile streams a file: header first, then AIO-read chunks copied to
-// the transport; small files are inserted into the cache afterwards.
+// sendFile streams a file: header first, then AIO reads landing directly
+// in the chunker's destination buffer (one write per byte — no
+// assemble-by-append second copy); small files' destinations become
+// their cache entries afterwards.
 func (s *Server) sendFile(t Transport, f *kernel.File, name string) core.M[core.Unit] {
 	size := f.Size()
-	cacheable := size <= int64(s.cfg.CacheBytes)
-	var assembled []byte
-	if cacheable {
-		assembled = make([]byte, 0, size)
-	}
-	chunk := make([]byte, s.cfg.ChunkBytes)
-
-	var copyData func(off int64) core.M[core.Unit]
-	copyData = func(off int64) core.M[core.Unit] {
-		if off >= size {
-			return core.Do(func() {
-				if cacheable {
-					s.cache.Put(name, assembled)
-				}
-			})
-		}
-		return core.Bind(s.io.AIORead(f, off, chunk), func(n int) core.M[core.Unit] {
-			if n == 0 {
-				return core.Skip
-			}
-			if cacheable {
-				assembled = append(assembled, chunk[:n]...)
-			}
-			return core.Bind(t.Write(chunk[:n]), func(w int) core.M[core.Unit] {
-				s.bytesOut.Add(uint64(w))
-				return copyData(off + int64(n))
-			})
-		})
-	}
+	ck := newChunker(size, s.cfg.CacheBytes, s.cfg.ChunkBytes)
+	readAt := func(off int64) core.M[int] { return s.io.AIORead(f, off, ck.window(off)) }
+	_, stream := s.streamBody(t, ck, name, readAt)
 
 	return core.Then(
 		core.Bind(t.Write(ResponseHead(200, size, true)), func(int) core.M[core.Unit] { return core.Skip }),
-		copyData(0),
+		stream(0),
 	)
 }
 
@@ -523,12 +565,7 @@ func (s *Server) sendFile(t Transport, f *kernel.File, name string) core.M[core.
 // Catch closes it.
 func (s *Server) sendFileDegraded(t Transport, f *kernel.File, name string, keep bool) core.M[bool] {
 	size := f.Size()
-	cacheable := size <= s.cfg.CacheBytes
-	var assembled []byte
-	if cacheable {
-		assembled = make([]byte, 0, size)
-	}
-	chunk := make([]byte, s.cfg.ChunkBytes)
+	ck := newChunker(size, s.cfg.CacheBytes, s.cfg.ChunkBytes)
 	bo := core.Backoff{Attempts: s.cfg.DiskRetries + 1, Base: s.cfg.RetryBackoff, Factor: 2}
 	readAt := func(off int64) core.M[int] {
 		// The retry predicate runs once per failed attempt that will be
@@ -537,47 +574,24 @@ func (s *Server) sendFileDegraded(t Transport, f *kernel.File, name string, keep
 		return core.OnException(
 			core.RetryIf(s.io.Clock(), bo,
 				func(error) bool { s.diskRetries.Add(1); return true },
-				s.io.AIORead(f, off, chunk)),
+				s.io.AIORead(f, off, ck.window(off))),
 			core.Do(func() { s.diskErrors.Add(1) }),
 		)
 	}
-
-	var stream func(off int64) core.M[core.Unit]
-	// ship writes an n-byte chunk read at off, then continues the stream.
-	ship := func(n int, off int64) core.M[core.Unit] {
-		if cacheable {
-			assembled = append(assembled, chunk[:n]...)
-		}
-		return core.Bind(t.Write(chunk[:n]), func(w int) core.M[core.Unit] {
-			s.bytesOut.Add(uint64(w))
-			return stream(off + int64(n))
-		})
-	}
-	stream = func(off int64) core.M[core.Unit] {
-		if off >= size {
-			return core.Do(func() {
-				if cacheable {
-					s.cache.Put(name, assembled)
-				}
-			})
-		}
-		return core.Bind(readAt(off), func(n int) core.M[core.Unit] {
-			if n == 0 {
-				return core.Skip
-			}
-			return ship(n, off)
-		})
-	}
+	ship, _ := s.streamBody(t, ck, name, readAt)
 
 	return core.Bind(
 		core.Catch(readAt(0), func(error) core.M[int] { return core.Return(-1) }),
 		func(n0 int) core.M[bool] {
 			if n0 < 0 {
+				ck.release()
 				return s.sendError(t, 503, false) // degrade: shed this connection
 			}
 			body := core.Skip
 			if n0 > 0 {
 				body = ship(n0, 0)
+			} else {
+				ck.release()
 			}
 			return core.Then(
 				core.Bind(t.Write(ResponseHead(200, size, true)),

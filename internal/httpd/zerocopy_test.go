@@ -1,0 +1,140 @@
+package httpd_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hybrid/internal/core"
+	"hybrid/internal/httpd"
+)
+
+// The zero-copy response path (VectorWriter.WriteOwned) must be
+// observationally identical to the plain copying Write path: same bytes,
+// same order, for any request sequence. These tests serve the same
+// scripted request stream through two otherwise-identical servers — one
+// over a transport that only implements Write, one over a transport that
+// also implements VectorWriter — and require the output streams to match
+// byte for byte.
+
+// replayTransport feeds scripted read chunks and records everything
+// written. Chunks must fit the server's read buffer.
+type replayTransport struct {
+	chunks [][]byte
+	i      int
+	out    bytes.Buffer
+	closed bool
+}
+
+func (r *replayTransport) Read(p []byte) core.M[int] {
+	return core.NBIO(func() int {
+		if r.i >= len(r.chunks) {
+			return 0
+		}
+		c := r.chunks[r.i]
+		r.i++
+		return copy(p, c)
+	})
+}
+
+func (r *replayTransport) Write(p []byte) core.M[int] {
+	return core.NBIO(func() int {
+		r.out.Write(p)
+		return len(p)
+	})
+}
+
+func (r *replayTransport) Close() core.M[core.Unit] {
+	return core.Do(func() { r.closed = true })
+}
+
+// vectorReplayTransport adds the zero-copy capability; owned counts how
+// many writes took the by-reference path.
+type vectorReplayTransport struct {
+	replayTransport
+	owned int
+}
+
+func (v *vectorReplayTransport) WriteOwned(p []byte) core.M[int] {
+	return core.NBIO(func() int {
+		v.owned++
+		v.out.Write(p)
+		return len(p)
+	})
+}
+
+var _ httpd.VectorWriter = (*vectorReplayTransport)(nil)
+
+// requestTemplates is the request mix the equivalence check draws from:
+// cache hits (the zero-copy path), disk misses, 404s, HEADs, and a
+// non-GET error response.
+var requestTemplates = []string{
+	"GET /file-0 HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\r\n",
+	"GET /file-1 HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\r\n",
+	"GET /missing HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\r\n",
+	"HEAD /file-0 HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\r\n",
+	"POST /file-0 HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\r\n",
+	"GET /file-0 HTTP/1.0\r\n\r\n", // no keep-alive: closes the connection
+}
+
+// serveScript runs one request stream through a fresh server over the
+// given transport and returns the bytes the server wrote.
+func serveScript(t *testing.T, chunks [][]byte, vector bool) (out []byte, owned int) {
+	t.Helper()
+	s := newSite(t, 2, 1024)
+	srv := httpd.NewServer(s.io, httpd.ServerConfig{CacheBytes: 1 << 20})
+	if vector {
+		tr := &vectorReplayTransport{replayTransport: replayTransport{chunks: chunks}}
+		runAndWait(s.rt, srv.ServeTransport(tr))
+		return tr.out.Bytes(), tr.owned
+	}
+	tr := &replayTransport{chunks: chunks}
+	runAndWait(s.rt, srv.ServeTransport(tr))
+	return tr.out.Bytes(), 0
+}
+
+// script turns fuzz bytes into a chunked request stream: each byte picks
+// a template, and the low bits pick a split point so heads arrive both
+// whole and fragmented.
+func script(sel []byte) [][]byte {
+	var chunks [][]byte
+	for _, b := range sel {
+		req := requestTemplates[int(b)%len(requestTemplates)]
+		if cut := int(b) % len(req); b%3 == 0 && cut > 0 {
+			chunks = append(chunks, []byte(req[:cut]), []byte(req[cut:]))
+		} else {
+			chunks = append(chunks, []byte(req))
+		}
+	}
+	return chunks
+}
+
+func TestVectorWriterMatchesCopyPath(t *testing.T) {
+	sel := []byte{0, 0, 1, 2, 3, 4, 0, 3, 6, 9, 12, 1, 0, 5}
+	plain, _ := serveScript(t, script(sel), false)
+	vec, owned := serveScript(t, script(sel), true)
+	if owned == 0 {
+		t.Fatal("vector transport never took the zero-copy path")
+	}
+	if !bytes.Equal(plain, vec) {
+		t.Fatalf("response streams differ: copy %d bytes, zero-copy %d bytes", len(plain), len(vec))
+	}
+}
+
+func FuzzVectorWriterEquivalence(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{5, 0})
+	f.Add([]byte{3, 3, 3, 0, 0, 0, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, sel []byte) {
+		if len(sel) == 0 || len(sel) > 32 {
+			t.Skip()
+		}
+		chunks := script(sel)
+		plain, _ := serveScript(t, chunks, false)
+		vec, _ := serveScript(t, chunks, true)
+		if !bytes.Equal(plain, vec) {
+			t.Fatalf("response streams differ for %v: copy %d bytes, zero-copy %d bytes",
+				sel, len(plain), len(vec))
+		}
+	})
+}

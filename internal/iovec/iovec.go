@@ -9,8 +9,14 @@ package iovec
 // Vec is an immutable view of a sequence of bytes held in one or more
 // underlying segments. Operations share the segments; the bytes must not
 // be mutated while any Vec referencing them is live.
+//
+// A vector of exactly one segment is stored inline (single), so the
+// dominant cases — wrapping one write buffer, or slicing a window out of
+// one segment on the retransmission path — build and split vectors
+// without allocating a segment list.
 type Vec struct {
-	segs   [][]byte
+	single []byte   // the only segment, when segs is nil
+	segs   [][]byte // two or more segments, nil otherwise
 	length int
 }
 
@@ -19,15 +25,19 @@ func New(segs ...[]byte) Vec {
 	v := Vec{}
 	for _, s := range segs {
 		if len(s) > 0 {
-			v.segs = append(v.segs, s)
-			v.length += len(s)
+			v = v.Append(s)
 		}
 	}
 	return v
 }
 
-// FromBytes wraps one slice without copying.
-func FromBytes(b []byte) Vec { return New(b) }
+// FromBytes wraps one slice without copying (and without allocating).
+func FromBytes(b []byte) Vec {
+	if len(b) == 0 {
+		return Vec{}
+	}
+	return Vec{single: b, length: len(b)}
+}
 
 // Len reports the logical length in bytes.
 func (v Vec) Len() int { return v.length }
@@ -40,7 +50,14 @@ func (v Vec) Append(b []byte) Vec {
 	if len(b) == 0 {
 		return v
 	}
+	if v.length == 0 {
+		return Vec{single: b, length: len(b)}
+	}
 	out := Vec{length: v.length + len(b)}
+	if v.segs == nil {
+		out.segs = [][]byte{v.single, b}
+		return out
+	}
 	out.segs = make([][]byte, 0, len(v.segs)+1)
 	out.segs = append(out.segs, v.segs...)
 	out.segs = append(out.segs, b)
@@ -55,15 +72,25 @@ func (v Vec) Concat(w Vec) Vec {
 	if v.length == 0 {
 		return w
 	}
+	if w.segs == nil {
+		return v.Append(w.single)
+	}
 	out := Vec{length: v.length + w.length}
-	out.segs = make([][]byte, 0, len(v.segs)+len(w.segs))
-	out.segs = append(out.segs, v.segs...)
+	out.segs = make([][]byte, 0, v.Segments()+len(w.segs))
+	if v.segs == nil {
+		out.segs = append(out.segs, v.single)
+	} else {
+		out.segs = append(out.segs, v.segs...)
+	}
 	out.segs = append(out.segs, w.segs...)
 	return out
 }
 
 // Slice returns the byte range [from, to) as a vector sharing the same
-// segments. It panics on an invalid range, like slicing.
+// segments. It panics on an invalid range, like slicing. A range that
+// falls within one underlying segment — every slice of a single-segment
+// vector, and any narrow window of a chain — is returned inline, without
+// allocating.
 func (v Vec) Slice(from, to int) Vec {
 	if from < 0 || to < from || to > v.length {
 		panic("iovec: slice range out of bounds")
@@ -71,14 +98,27 @@ func (v Vec) Slice(from, to int) Vec {
 	if from == to {
 		return Vec{}
 	}
-	out := Vec{length: to - from}
+	if v.segs == nil {
+		return Vec{single: v.single[from:to], length: to - from}
+	}
 	skip := from
 	need := to - from
-	for _, s := range v.segs {
-		if skip >= len(s) {
-			skip -= len(s)
-			continue
+	// Find the first spanned segment; if the range fits inside it the
+	// result is a single-segment view.
+	i := 0
+	for ; i < len(v.segs); i++ {
+		if skip < len(v.segs[i]) {
+			break
 		}
+		skip -= len(v.segs[i])
+	}
+	if need <= len(v.segs[i])-skip {
+		return Vec{single: v.segs[i][skip : skip+need], length: need}
+	}
+	out := Vec{length: need}
+	out.segs = make([][]byte, 0, len(v.segs)-i)
+	for ; i < len(v.segs); i++ {
+		s := v.segs[i]
 		take := len(s) - skip
 		if take > need {
 			take = need
@@ -102,6 +142,9 @@ func (v Vec) Take(n int) Vec { return v.Slice(0, n) }
 // CopyTo copies up to len(p) bytes into p, returning the count. This is
 // the single copy at the wire (or user) boundary.
 func (v Vec) CopyTo(p []byte) int {
+	if v.segs == nil {
+		return copy(p, v.single)
+	}
 	n := 0
 	for _, s := range v.segs {
 		if n >= len(p) {
@@ -124,6 +167,9 @@ func (v Vec) At(i int) byte {
 	if i < 0 || i >= v.length {
 		panic("iovec: index out of bounds")
 	}
+	if v.segs == nil {
+		return v.single[i]
+	}
 	for _, s := range v.segs {
 		if i < len(s) {
 			return s[i]
@@ -135,4 +181,12 @@ func (v Vec) At(i int) byte {
 
 // Segments reports the number of underlying segments (diagnostics: a
 // zero-copy path keeps segment counts proportional to writes, not bytes).
-func (v Vec) Segments() int { return len(v.segs) }
+func (v Vec) Segments() int {
+	if v.segs == nil {
+		if v.length == 0 {
+			return 0
+		}
+		return 1
+	}
+	return len(v.segs)
+}

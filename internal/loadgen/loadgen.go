@@ -114,10 +114,14 @@ func (g *Generator) client(id int) core.M[core.Unit] {
 		rng ^= rng << 17
 		return rng
 	}
+	// One response buffer and head accumulator per client, reused across
+	// its whole request sequence (oneRequest leaves both empty).
+	hb := &httpd.HeadBuffer{}
+	buf := make([]byte, 8192)
 	body := func(conn kernel.FD) core.M[core.Unit] {
 		return core.ForN(g.cfg.RequestsPerClient, func(int) core.M[core.Unit] {
 			name := FileName(int(next() % uint64(g.cfg.Files)))
-			return g.oneRequest(conn, name)
+			return g.oneRequest(conn, name, hb, buf)
 		})
 	}
 	connect := g.io.SockConnect(g.cfg.Addr)
@@ -144,11 +148,11 @@ func (g *Generator) client(id int) core.M[core.Unit] {
 	)
 }
 
-// oneRequest issues one GET and consumes the full response.
-func (g *Generator) oneRequest(conn kernel.FD, name string) core.M[core.Unit] {
+// oneRequest issues one GET and consumes the full response. hb and buf
+// are the calling client's reusable scratch: the routine drains the full
+// body and resets hb, so both are empty again when it returns.
+func (g *Generator) oneRequest(conn kernel.FD, name string, hb *httpd.HeadBuffer, buf []byte) core.M[core.Unit] {
 	req := []byte("GET /" + name + " HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\n\r\n")
-	hb := &httpd.HeadBuffer{}
-	buf := make([]byte, 8192)
 
 	// Read the response head.
 	var readHead func() core.M[string]

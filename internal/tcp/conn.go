@@ -184,7 +184,7 @@ func (c *Conn) sendSegLocked(flags Flags, payload iovec.Vec, track bool) {
 	c.lastWndAdvertised = seg.Window
 	c.s.stats.SegsOut++
 	c.s.stats.BytesOut += uint64(payload.Len())
-	c.s.host.Send(c.key.remoteAddr, seg.Encode())
+	c.s.sendSeg(c.key.remoteAddr, seg)
 }
 
 // sendAckLocked emits a bare ACK with the current window.
@@ -378,7 +378,7 @@ func (c *Conn) resendLocked(r *rtxSeg) {
 		seg.Ack = c.rcvNxt
 	}
 	c.s.stats.SegsOut++
-	c.s.host.Send(c.key.remoteAddr, seg.Encode())
+	c.s.sendSeg(c.key.remoteAddr, seg)
 }
 
 // armPersistLocked schedules a zero-window probe.
@@ -901,7 +901,7 @@ func (c *Conn) Abort() {
 		Seq: c.sndNxt, Ack: c.rcvNxt, Flags: FlagRST | FlagACK,
 	}
 	c.s.stats.RSTsOut++
-	c.s.host.Send(c.key.remoteAddr, rst.Encode())
+	c.s.sendSeg(c.key.remoteAddr, rst)
 	wakes := c.teardownLocked(ErrClosed)
 	c.s.mu.Unlock()
 	runAll(wakes)

@@ -79,10 +79,17 @@ const headerSize = 2 + 2 + 4 + 4 + 1 + 4 + 4 + 4 // ports, seq, ack, flags, wind
 // ErrMalformed reports an undecodable or corrupt segment.
 var ErrMalformed = errors.New("tcp: malformed segment")
 
-// Encode serializes the segment with a checksum; the payload vector is
-// copied exactly once, into the wire buffer.
-func (s *Segment) Encode() []byte {
-	buf := make([]byte, headerSize+s.Payload.Len())
+// WireLen is the encoded length of the segment on the wire.
+func (s *Segment) WireLen() int { return headerSize + s.Payload.Len() }
+
+// EncodeTo serializes the segment with a checksum into buf, whose length
+// must be exactly WireLen. The payload vector is copied exactly once, into
+// the wire buffer — buf may come from bufpool and be reclaimed as soon as
+// the network layer has taken its own copy.
+func (s *Segment) EncodeTo(buf []byte) {
+	if len(buf) != headerSize+s.Payload.Len() {
+		panic("tcp: EncodeTo buffer length mismatch")
+	}
 	binary.BigEndian.PutUint16(buf[0:], s.SrcPort)
 	binary.BigEndian.PutUint16(buf[2:], s.DstPort)
 	binary.BigEndian.PutUint32(buf[4:], s.Seq)
@@ -92,19 +99,26 @@ func (s *Segment) Encode() []byte {
 	binary.BigEndian.PutUint32(buf[17:], uint32(s.Payload.Len()))
 	s.Payload.CopyTo(buf[headerSize:])
 	binary.BigEndian.PutUint32(buf[21:], checksum(buf))
+}
+
+// Encode serializes the segment into a fresh buffer the caller owns.
+func (s *Segment) Encode() []byte {
+	buf := make([]byte, s.WireLen())
+	s.EncodeTo(buf)
 	return buf
 }
 
-// Decode parses and verifies a segment.
+// Decode parses and verifies a segment. The decoded payload aliases buf
+// (no copy): the caller transfers ownership of buf, which must stay
+// immutable for as long as the payload may be referenced. The verify pass
+// never writes to buf, so decoding the same delivery twice (a duplicated
+// packet sharing one buffer) is safe.
 func Decode(buf []byte) (*Segment, error) {
 	if len(buf) < headerSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrMalformed, len(buf))
 	}
 	want := binary.BigEndian.Uint32(buf[21:])
-	binary.BigEndian.PutUint32(buf[21:], 0)
-	got := checksum(buf)
-	binary.BigEndian.PutUint32(buf[21:], want)
-	if got != want {
+	if got := checksum(buf); got != want {
 		return nil, fmt.Errorf("%w: bad checksum", ErrMalformed)
 	}
 	plen := binary.BigEndian.Uint32(buf[17:])
@@ -120,20 +134,27 @@ func Decode(buf []byte) (*Segment, error) {
 		Window:  binary.BigEndian.Uint32(buf[13:]),
 	}
 	if plen > 0 {
-		p := make([]byte, plen)
-		copy(p, buf[headerSize:])
-		s.Payload = iovec.FromBytes(p)
+		s.Payload = iovec.FromBytes(buf[headerSize:])
 	}
 	return s, nil
 }
 
-// checksum is a 32-bit Fletcher-style sum over the encoded segment with
-// the checksum field zeroed. The simulated wire does not corrupt bits, but
-// the check guards against stack bugs and documents the real protocol's
-// shape.
+// checksum is a 32-bit Fletcher-style sum over the encoded segment,
+// treating the checksum field (bytes 21..25) as zero without touching it —
+// so the same function serves encode (where those bytes are not yet
+// written) and verify (where the buffer may be shared and must not be
+// mutated). The simulated wire does not corrupt bits, but the check guards
+// against stack bugs and documents the real protocol's shape.
 func checksum(buf []byte) uint32 {
 	var a, b uint32 = 1, 0
-	for _, c := range buf {
+	for _, c := range buf[:21] {
+		a = (a + uint32(c)) % 65521
+		b = (b + a) % 65521
+	}
+	for i := 0; i < 4; i++ { // the zeroed checksum field: a is unchanged
+		b = (b + a) % 65521
+	}
+	for _, c := range buf[25:] {
 		a = (a + uint32(c)) % 65521
 		b = (b + a) % 65521
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"hybrid/internal/bufpool"
 	"hybrid/internal/faults"
 	"hybrid/internal/iovec"
 	"hybrid/internal/netsim"
@@ -227,6 +228,16 @@ func (s *Stack) allocPortLocked(remoteAddr string, remotePort uint16) (uint16, e
 	return 0, errors.New("tcp: ephemeral ports exhausted")
 }
 
+// sendSeg encodes seg into a pooled wire buffer and hands it to the host.
+// netsim copies the payload before scheduling delivery, so the buffer goes
+// straight back to the pool; nothing on the wire ever references it.
+func (s *Stack) sendSeg(dst string, seg *Segment) {
+	wire := bufpool.Get(seg.WireLen())
+	seg.EncodeTo(wire)
+	s.host.Send(dst, wire)
+	bufpool.Put(wire)
+}
+
 // input is the packet-arrival event handler (worker_tcp_input): decode,
 // demux to a connection or listener, and run the state machine.
 func (s *Stack) input(src string, data []byte) {
@@ -288,7 +299,7 @@ func (s *Stack) input(src string, data []byte) {
 			Seq: seg.Ack, Ack: seg.Seq + seg.seqLen(), Flags: FlagRST | FlagACK,
 		}
 		s.mu.Unlock()
-		s.host.Send(src, rst.Encode())
+		s.sendSeg(src, rst)
 		return
 	}
 	s.mu.Unlock()
