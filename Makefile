@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race tier2 stress overload-stress fuzz-smoke bench bench-smoke
+.PHONY: tier1 build vet test race race-smp tier2 stress overload-stress fuzz-smoke bench bench-smoke profile
 
 # tier1 is the repository's gate: everything must build, vet clean, and
 # pass tests, with the race detector over the concurrency-heavy packages.
@@ -17,7 +17,18 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/stm/... \
-		./internal/tcp/ ./internal/httpd/ ./internal/bufpool/
+		./internal/tcp/ ./internal/httpd/ ./internal/bufpool/ \
+		./internal/kernel/
+
+# race-smp repeats the race leg with GOMAXPROCS pinned to 4 so parallel
+# dispatch (sharded kernel, batched epoll, stealing deques) is exercised
+# with real preemption interleavings even on wide CI machines. The bench
+# package is excluded: its replay-determinism tests assume the single-P
+# schedule the committed figures were generated under (pre-existing; see
+# DESIGN.md "Multicore scaling").
+race-smp:
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/core/... \
+		./internal/kernel/ ./internal/hio/
 
 # tier2 is the extended, non-gating suite (~30s): the randomized
 # scheduler stress tests under the race detector, the seeded overload
@@ -64,3 +75,16 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem -count=1 ./internal/bench/
 	$(GO) test -run 'Alloc' -count=1 ./internal/bench/ ./internal/httpd/ ./internal/stats/
 	$(GO) run ./cmd/benchjson -micro-only -label smoke -fig19 BENCH_smoke.json
+	$(GO) run ./cmd/fig19web -quick -scaling -workers 1 > SCALING_smoke.txt
+	$(GO) run ./cmd/fig19web -quick -scaling -workers 4 -stealing >> SCALING_smoke.txt
+	cat SCALING_smoke.txt
+
+# profile captures pprof CPU/mutex/block profiles of the cached quick
+# workload at 4 workers, for inspecting the contention delta of scheduler
+# or kernel changes (`go tool pprof mutex.pprof`).
+PROFILE_WORKERS ?= 4
+
+profile:
+	$(GO) run ./cmd/fig19web -quick -cached -workers $(PROFILE_WORKERS) \
+		-cpuprofile cpu.pprof -mutexprofile mutex.pprof -blockprofile block.pprof
+	@echo "wrote cpu.pprof mutex.pprof block.pprof"

@@ -35,6 +35,7 @@ type RunStats struct {
 	NsPerOp     int64   `json:"ns_per_op,omitempty"`     // microbenchmark wall ns/op
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"` // microbenchmark heap allocations/op
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`  // microbenchmark heap bytes/op
+	Speedup     float64 `json:"speedup,omitempty"`       // wall throughput relative to Workers=1
 
 	Stats stats.Snapshot `json:"stats,omitempty"`
 }

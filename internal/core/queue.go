@@ -21,6 +21,11 @@ type readyQueue interface {
 	// (locality for batch-exhausted threads); the shared queue ignores
 	// the hint. Same rejection contract as push.
 	pushLocal(worker int, t *TCB) bool
+	// pushBatch appends a batch of runnable threads under one lock
+	// acquisition, waking at most one blocked worker per thread (targeted
+	// Signal, never Broadcast). All-or-none: a closed queue rejects the
+	// whole batch and the caller accounts for every thread.
+	pushBatch(ts []*TCB) bool
 	// pop removes a thread for the given worker, blocking until one is
 	// available. stolen reports that the thread came from another
 	// worker's deque. It returns ok=false once the queue is closed and
@@ -39,12 +44,13 @@ type readyQueue interface {
 // ---------------------------------------------------------------------------
 
 type sharedQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	ring   []*TCB
-	head   int
-	count  int
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ring    []*TCB
+	head    int
+	count   int
+	waiting int // workers blocked in pop, for targeted batch signaling
+	closed  bool
 }
 
 func newSharedQueue() *sharedQueue {
@@ -70,6 +76,30 @@ func (q *sharedQueue) push(t *TCB) bool {
 // pushLocal ignores the affinity hint: there is only one queue.
 func (q *sharedQueue) pushLocal(_ int, t *TCB) bool { return q.push(t) }
 
+// pushBatch appends every thread under one lock acquisition and signals
+// once per thread, capped at the number of blocked workers.
+func (q *sharedQueue) pushBatch(ts []*TCB) bool {
+	if len(ts) == 0 {
+		return true
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	for _, t := range ts {
+		q.grow()
+		q.ring[(q.head+q.count)%len(q.ring)] = t
+		q.count++
+	}
+	sig := min(len(ts), q.waiting)
+	q.mu.Unlock()
+	for i := 0; i < sig; i++ {
+		q.cond.Signal()
+	}
+	return true
+}
+
 // grow doubles the ring when full. Called with q.mu held.
 func (q *sharedQueue) grow() {
 	if q.count < len(q.ring) {
@@ -86,7 +116,9 @@ func (q *sharedQueue) grow() {
 func (q *sharedQueue) pop(int) (*TCB, bool, bool) {
 	q.mu.Lock()
 	for q.count == 0 && !q.closed {
+		q.waiting++
 		q.cond.Wait()
+		q.waiting--
 	}
 	if q.count == 0 {
 		q.mu.Unlock()
@@ -131,12 +163,13 @@ func (q *sharedQueue) size() int {
 // ---------------------------------------------------------------------------
 
 type stealingQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	deques [][]*TCB
-	rr     int
-	total  int
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	deques  [][]*TCB
+	rr      int
+	total   int
+	waiting int // workers blocked in pop, for targeted batch signaling
+	closed  bool
 
 	// slots[w] is worker w's one-thread buffer, the pushLocal fast path:
 	// pushLocal(w) is called only from worker w's goroutine (batch
@@ -199,6 +232,33 @@ func (q *stealingQueue) pushLocal(worker int, t *TCB) bool {
 	return q.pushLocalSlow(w, t)
 }
 
+// pushBatch spreads the batch round-robin across the deques under one
+// lock acquisition — the epoll harvest loop lands a whole poll round of
+// unblocked threads here in one push — and wakes at most one blocked
+// worker per thread.
+func (q *stealingQueue) pushBatch(ts []*TCB) bool {
+	if len(ts) == 0 {
+		return true
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	for _, t := range ts {
+		i := q.rr % len(q.deques)
+		q.rr++
+		q.deques[i] = append(q.deques[i], t)
+	}
+	q.total += len(ts)
+	sig := min(len(ts), q.waiting)
+	q.mu.Unlock()
+	for i := 0; i < sig; i++ {
+		q.cond.Signal()
+	}
+	return true
+}
+
 // pushLocalSlow appends to the worker's deque under the lock: the slot was
 // occupied or being flushed for fairness. Reports false when closed.
 func (q *stealingQueue) pushLocalSlow(w int, t *TCB) bool {
@@ -240,7 +300,9 @@ func (q *stealingQueue) pop(worker int) (*TCB, bool, bool) {
 	q.mu.Lock()
 	for {
 		for q.total == 0 && q.slotCount.Load() == 0 && !q.closed {
+			q.waiting++
 			q.cond.Wait()
+			q.waiting--
 		}
 		if q.total == 0 && q.slotCount.Load() == 0 {
 			q.mu.Unlock()

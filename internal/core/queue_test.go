@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -159,4 +160,173 @@ func TestQueueDepthVisible(t *testing.T) {
 		rt.Spawn(gate.Put(Unit{}))
 	}
 	rt.WaitIdle()
+}
+
+// ---------------------------------------------------------------------------
+// Parallel stress (run with -race; `make stress` picks these up by name)
+// ---------------------------------------------------------------------------
+
+// Eight workers pop and re-push locally while producers push singles and
+// batches from outside: every path into the stealing queue — push,
+// pushLocal (owner slot and slow path), pushBatch, pop, steal — runs
+// concurrently. The invariant is conservation: every produced thread is
+// eventually consumed exactly once (re-pushed threads once more).
+func TestStealingQueueParallelStress(t *testing.T) {
+	const (
+		workers     = 8
+		producers   = 4
+		perProducer = 500
+		batches     = 64
+		batchSize   = 8
+	)
+	total := producers*perProducer + batches*batchSize
+	q := newStealingQueue(workers)
+
+	repushed := make([]atomic.Bool, total+1)
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				tcb, _, ok := q.pop(w)
+				if !ok {
+					return
+				}
+				// A third of the threads go around once more via the
+				// owner-local path (the batch-exhausted hand-back).
+				if tcb.id%3 == 0 && repushed[tcb.id].CompareAndSwap(false, true) {
+					if q.pushLocal(w, tcb) {
+						continue
+					}
+				}
+				consumed.Add(1)
+			}
+		}()
+	}
+
+	var prod sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		prod.Add(1)
+		go func() {
+			defer prod.Done()
+			for i := 0; i < perProducer; i++ {
+				q.push(&TCB{id: uint64(p*perProducer + i + 1)})
+			}
+		}()
+	}
+	base := producers * perProducer
+	prod.Add(1)
+	go func() {
+		defer prod.Done()
+		for b := 0; b < batches; b++ {
+			ts := make([]*TCB, batchSize)
+			for i := range ts {
+				ts[i] = &TCB{id: uint64(base + b*batchSize + i + 1)}
+			}
+			if !q.pushBatch(ts) {
+				t.Error("pushBatch rejected while open")
+				return
+			}
+		}
+	}()
+	prod.Wait()
+	waitFor(t, func() bool { return consumed.Load() == int64(total) })
+	q.close()
+	wg.Wait()
+	if got := consumed.Load(); got != int64(total) {
+		t.Fatalf("consumed %d threads, want %d", got, total)
+	}
+}
+
+// The shared queue's pushBatch under the same parallel load.
+func TestSharedQueuePushBatchParallelStress(t *testing.T) {
+	const (
+		workers   = 8
+		batches   = 200
+		batchSize = 16
+	)
+	total := batches * batchSize
+	q := newSharedQueue()
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				_, _, ok := q.pop(0)
+				if !ok {
+					return
+				}
+				consumed.Add(1)
+			}
+		}()
+	}
+	for b := 0; b < batches; b++ {
+		ts := mkTCBs(batchSize)
+		if !q.pushBatch(ts) {
+			t.Fatal("pushBatch rejected while open")
+		}
+	}
+	waitFor(t, func() bool { return consumed.Load() == int64(total) })
+	q.close()
+	wg.Wait()
+}
+
+// pushBatch after close must reject the whole batch (all-or-none), on
+// both queue kinds.
+func TestPushBatchOnClosedQueue(t *testing.T) {
+	sq := newSharedQueue()
+	sq.close()
+	if sq.pushBatch(mkTCBs(3)) {
+		t.Fatal("sharedQueue.pushBatch accepted after close")
+	}
+	st := newStealingQueue(2)
+	st.close()
+	if st.pushBatch(mkTCBs(3)) {
+		t.Fatal("stealingQueue.pushBatch accepted after close")
+	}
+}
+
+// A Batch staged through SuspendB resumes land on the scheduler in one
+// flush; every staged thread must run to completion.
+func TestBatchFlushResumesThreads(t *testing.T) {
+	rt := NewRuntime(Options{Workers: 2})
+	defer rt.Shutdown()
+	const n = 16
+	var mu sync.Mutex
+	resumes := make([]func(int, *Batch), 0, n)
+	var ran atomic.Int64
+	for i := 0; i < n; i++ {
+		rt.Spawn(Bind(
+			SuspendB(func(resume func(int, *Batch)) {
+				mu.Lock()
+				resumes = append(resumes, resume)
+				mu.Unlock()
+			}),
+			func(int) M[Unit] { ran.Add(1); return Skip },
+		))
+	}
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(resumes) == n })
+	b := rt.NewBatch()
+	mu.Lock()
+	for i, r := range resumes {
+		r(i, b)
+	}
+	mu.Unlock()
+	if b.Len() != n {
+		t.Fatalf("staged %d threads, want %d", b.Len(), n)
+	}
+	b.Flush()
+	if b.Len() != 0 {
+		t.Fatalf("batch not empty after flush: %d", b.Len())
+	}
+	rt.WaitIdle()
+	if got := ran.Load(); got != n {
+		t.Fatalf("%d threads ran, want %d", got, n)
+	}
 }

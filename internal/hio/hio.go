@@ -52,14 +52,27 @@ func (io *IO) Clock() vclock.Clock { return io.k.Clock() }
 
 // workerEpoll is the paper's Figure 16: wait for epoll events and, for
 // each thread object in the results, write it to the scheduler's ready
-// queue.
+// queue. The whole poll round is staged into one Batch so the unblocked
+// threads land on the ready queue in a single push with targeted worker
+// wakeups, instead of a queue lock + signal per event.
 func (io *IO) workerEpoll() {
+	b := io.rt.NewBatch()
 	for {
 		events, ok := io.ep.Wait()
 		for _, ev := range events {
-			if resume, isResume := ev.Data.(func(kernel.Event)); isResume {
+			switch resume := ev.Data.(type) {
+			case func(kernel.Event, *core.Batch):
+				resume(ev.Events, b)
+			case func(kernel.Event):
 				resume(ev.Events)
 			}
+		}
+		// Flush before Done: each event's busy hold is still held while
+		// its thread sits staged (Batch.add took the enqueue-side hold), so
+		// releasing the delivery holds afterwards keeps virtual time pinned
+		// throughout the handoff.
+		b.Flush()
+		for range events {
 			io.ep.Done()
 		}
 		if !ok {
@@ -88,12 +101,12 @@ func throwResult[A any](r result[A]) core.M[A] {
 // mask, returning the events that fired (the paper's sys_epoll_wait).
 func (io *IO) EpollWait(fd kernel.FD, mask kernel.Event) core.M[kernel.Event] {
 	return core.Bind(
-		core.Suspend(func(resume func(result[kernel.Event])) {
-			err := io.ep.Register(fd, mask, func(ev kernel.Event) {
-				resume(result[kernel.Event]{val: ev})
+		core.SuspendB(func(resume func(result[kernel.Event], *core.Batch)) {
+			err := io.ep.Register(fd, mask, func(ev kernel.Event, b *core.Batch) {
+				resume(result[kernel.Event]{val: ev}, b)
 			})
 			if err != nil {
-				resume(result[kernel.Event]{err: err})
+				resume(result[kernel.Event]{err: err}, nil)
 			}
 		}),
 		throwResult,

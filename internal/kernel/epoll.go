@@ -44,11 +44,12 @@ func (w *watch) claim() bool { return w.dead.CompareAndSwap(false, true) }
 // Epoll is an epoll instance: a queue of ready events harvested by an
 // event loop (the paper's worker_epoll, Figure 16).
 type Epoll struct {
-	k      *Kernel
-	mu     sync.Mutex
-	cond   *sync.Cond
-	ready  []ReadyEvent
-	closed bool
+	k       *Kernel
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ready   []ReadyEvent
+	waiting int // waiters blocked in cond.Wait, for targeted signaling
+	closed  bool
 }
 
 // NewEpoll creates an epoll instance on the kernel.
@@ -95,7 +96,7 @@ func (w *watch) fire(ev Event) {
 	ep.deliver(w, ev)
 }
 
-// deliver queues the (possibly delayed) event and wakes a waiter.
+// deliver queues the (possibly delayed) event and wakes one waiter.
 func (ep *Epoll) deliver(w *watch, ev Event) {
 	// Every undelivered ready event holds the clock busy: in the virtual
 	// domain time must not advance past a wakeup that has been earned but
@@ -105,28 +106,67 @@ func (ep *Epoll) deliver(w *watch, ev Event) {
 	ep.ready = append(ep.ready, ReadyEvent{FD: w.fd, Events: ev, Data: w.data})
 	ep.mu.Unlock()
 	ep.cond.Signal()
-	ep.k.statsMu.Lock()
-	ep.k.stats.Wakeups++
-	ep.k.statsMu.Unlock()
+	ep.k.counters.wakeups.Add(1)
 }
 
+// deliverAll queues a batch of coalesced events under one lock acquisition
+// and wakes at most one waiter per event — a targeted Signal per pending
+// event instead of a Broadcast, so no waiter wakes to find nothing.
+func (ep *Epoll) deliverAll(evs []ReadyEvent) {
+	for range evs {
+		ep.k.clock.Enter()
+	}
+	ep.mu.Lock()
+	ep.ready = append(ep.ready, evs...)
+	sig := len(evs)
+	if ep.waiting < sig {
+		sig = ep.waiting
+	}
+	ep.mu.Unlock()
+	for i := 0; i < sig; i++ {
+		ep.cond.Signal()
+	}
+	ep.k.counters.wakeups.Add(uint64(len(evs)))
+}
+
+// DefaultWaitBatch bounds how many events one Wait returns, like the
+// maxevents argument of epoll_wait. Leftovers stay queued and re-signal
+// another waiter.
+const DefaultWaitBatch = 512
+
 // Wait blocks until at least one event is ready (or the instance is
-// closed, in which case ok is false) and returns all pending events.
+// closed, in which case ok is false) and returns up to DefaultWaitBatch
+// pending events.
 //
 // Each returned event carries a busy hold on the kernel's clock; the
 // caller must call Done once per event after dispatching it.
 func (ep *Epoll) Wait() (events []ReadyEvent, ok bool) {
 	ep.mu.Lock()
 	for len(ep.ready) == 0 && !ep.closed {
+		ep.waiting++
 		ep.cond.Wait()
+		ep.waiting--
+		if len(ep.ready) == 0 && !ep.closed {
+			// Woke to an empty queue: the thundering-herd symptom the
+			// targeted Signal exists to eliminate. Counted so tests can
+			// pin its absence.
+			ep.k.counters.spuriousWakeups.Add(1)
+		}
 	}
-	events = ep.ready
-	ep.ready = nil
+	if len(ep.ready) > DefaultWaitBatch {
+		events = ep.ready[:DefaultWaitBatch:DefaultWaitBatch]
+		ep.ready = ep.ready[DefaultWaitBatch:]
+	} else {
+		events = ep.ready
+		ep.ready = nil
+	}
 	closed := ep.closed
+	resignal := len(ep.ready) > 0 && ep.waiting > 0
 	ep.mu.Unlock()
-	ep.k.statsMu.Lock()
-	ep.k.stats.EpollWaits++
-	ep.k.statsMu.Unlock()
+	if resignal {
+		ep.cond.Signal()
+	}
+	ep.k.counters.epollWaits.Add(1)
 	if len(events) > 0 {
 		ep.k.readySet.Observe(int64(len(events)))
 	}
@@ -147,11 +187,17 @@ func (ep *Epoll) TryWait() []ReadyEvent {
 func (ep *Epoll) Done() { ep.k.clock.Exit() }
 
 // Close wakes all waiters; subsequent Waits return ok=false once drained.
+// Each blocked waiter gets exactly one targeted Signal — new arrivals see
+// the closed flag before sleeping, so a Broadcast would only add
+// thundering-herd wakeups.
 func (ep *Epoll) Close() {
 	ep.mu.Lock()
 	ep.closed = true
+	n := ep.waiting
 	ep.mu.Unlock()
-	ep.cond.Broadcast()
+	for i := 0; i < n; i++ {
+		ep.cond.Signal()
+	}
 }
 
 // waitList is the per-object list of parked watches, embedded in every
@@ -191,9 +237,41 @@ func (wl *waitList) collect(ev Event) []*watch {
 }
 
 // fireAll dispatches ev to each collected watch. Call without holding the
-// object lock.
+// object lock. Contiguous runs of watches on the same epoll instance are
+// delivered as one batch — one lock acquisition and one coalesced signal
+// round instead of a lock+signal per watch — which is the edge-coalescing
+// half of batched epoll dispatch. Injected latency draws happen per watch
+// in list order, so fault plans replay identically to one-at-a-time fire.
 func fireAll(watches []*watch, ev Event) {
-	for _, w := range watches {
-		w.fire(ev)
+	for i := 0; i < len(watches); {
+		ep := watches[i].ep
+		j := i + 1
+		for j < len(watches) && watches[j].ep == ep {
+			j++
+		}
+		ep.fireBatch(watches[i:j], ev)
+		i = j
+	}
+}
+
+// fireBatch delivers ev to a run of watches that share this epoll
+// instance. Watches with an injected readiness delay peel off onto clock
+// timers; the rest land in the ready queue in one deliverAll.
+func (ep *Epoll) fireBatch(ws []*watch, ev Event) {
+	if len(ws) == 1 {
+		ws[0].fire(ev)
+		return
+	}
+	var now []ReadyEvent
+	for _, w := range ws {
+		if d := ep.k.faults.Latency(faults.EpollDelay, maxEpollDelay); d > 0 {
+			w := w
+			ep.k.clock.After(d, func() { ep.deliver(w, ev) })
+			continue
+		}
+		now = append(now, ReadyEvent{FD: w.fd, Events: ev, Data: w.data})
+	}
+	if len(now) > 0 {
+		ep.deliverAll(now)
 	}
 }

@@ -15,8 +15,11 @@ import (
 // with O_DIRECT, so there is deliberately no page cache here; servers that
 // want caching build their own (as the paper's web server does, §5.2).
 type FS struct {
-	d  *disk.Disk
-	mu sync.Mutex
+	d *disk.Disk
+	// mu is a read-write lock: Open/Exists run on every request and only
+	// read the table, so lookups on distinct files never serialize;
+	// Create (setup-time) takes the write side.
+	mu sync.RWMutex
 	// nextBlock is the allocation frontier.
 	nextBlock int64
 	files     map[string]*File
@@ -73,8 +76,8 @@ func (fs *FS) Create(name string, size int64, materialize bool) (*File, error) {
 
 // Open looks up a file by name.
 func (fs *FS) Open(name string) (*File, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	f, ok := fs.files[name]
 	if !ok {
 		return nil, fmt.Errorf("fs: open %q: no such file", name)
@@ -84,8 +87,8 @@ func (fs *FS) Open(name string) (*File, error) {
 
 // Exists reports whether name exists.
 func (fs *FS) Exists(name string) bool {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	_, ok := fs.files[name]
 	return ok
 }

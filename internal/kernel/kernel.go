@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hybrid/internal/faults"
 	"hybrid/internal/stats"
@@ -102,23 +103,44 @@ type endpoint interface {
 	addWatch(w *watch)
 }
 
+// fdShardCount stripes the descriptor table. 64 shards keeps the map
+// behind any one lock small and makes cross-FD contention vanishingly
+// unlikely at realistic descriptor counts; it must stay a power of two so
+// shard selection is a mask, not a divide.
+const fdShardCount = 64
+
+// fdShard is one stripe of the descriptor table. Lookups (every
+// sys_read/sys_write) take the read lock; only allocate and close take
+// the write lock. The pad spaces shards a cache line apart so two hot
+// descriptors on adjacent shards do not false-share.
+type fdShard struct {
+	mu  sync.RWMutex
+	fds map[FD]endpoint
+	_   [40]byte
+}
+
 // Kernel is a simulated OS kernel instance. Independent benchmarks create
 // independent kernels.
 type Kernel struct {
 	clock vclock.Clock
 
-	mu   sync.Mutex
-	fds  map[FD]endpoint
-	next FD
+	// shards stripe the FD table by descriptor number. Per-FD object
+	// state (pipe rings, listener backlogs) lives behind each endpoint's
+	// own lock, so two threads on distinct descriptors touch disjoint
+	// locks end to end.
+	shards [fdShardCount]fdShard
+	next   atomic.Int64 // last allocated FD; seeded so the first is 3
 
+	lmu       sync.Mutex // guards listeners only
 	listeners map[string]*Listener
 
-	// stats counts system calls for the evaluation harness.
-	statsMu sync.Mutex
-	stats   Stats
+	// counters track system calls for the evaluation harness. They are
+	// plain atomics — the old single statsMu serialized every read and
+	// write in the kernel against every other.
+	counters kernelCounters
 
-	// metrics mirrors stats for the observability layer and adds the
-	// ready-set size distribution (updated in Epoll.Wait).
+	// metrics mirrors the counters for the observability layer and adds
+	// the ready-set size distribution (updated in Epoll.Wait).
 	metrics  *stats.Registry
 	readySet *stats.Histogram
 
@@ -126,6 +148,21 @@ type Kernel struct {
 	// readiness per its deterministic plan. Nil-safe: the zero kernel
 	// behaves exactly as before.
 	faults *faults.Injector
+}
+
+// kernelCounters is the hot-path mirror of Stats: one atomic per field,
+// no shared lock.
+type kernelCounters struct {
+	reads           atomic.Uint64
+	writes          atomic.Uint64
+	bytesRead       atomic.Uint64
+	bytesWrote      atomic.Uint64
+	eagains         atomic.Uint64
+	pipeEAGAINs     atomic.Uint64
+	epollWaits      atomic.Uint64
+	wakeups         atomic.Uint64
+	spuriousWakeups atomic.Uint64
+	backlogRejects  atomic.Uint64
 }
 
 // Stats are monotonically increasing counters of kernel activity.
@@ -138,6 +175,10 @@ type Stats struct {
 	PipeEAGAINs uint64
 	EpollWaits  uint64
 	Wakeups     uint64
+	// SpuriousWakeups counts epoll waiters that woke and found an empty
+	// ready list. With targeted signaling this stays at zero; it exists
+	// to pin the absence of thundering-herd rechecks in tests.
+	SpuriousWakeups uint64
 	// BacklogRejects counts connections refused because the listener's
 	// backlog was full — the kernel-side symptom of an overloaded accept
 	// loop, and the back-pressure signal admission control relies on.
@@ -151,35 +192,34 @@ func New(clock vclock.Clock) *Kernel {
 	}
 	k := &Kernel{
 		clock:     clock,
-		fds:       make(map[FD]endpoint),
-		next:      3, // 0,1,2 reserved, as tradition demands
 		listeners: make(map[string]*Listener),
 		metrics:   stats.NewRegistry(),
 	}
+	for i := range k.shards {
+		k.shards[i].fds = make(map[FD]endpoint)
+	}
+	k.next.Store(2) // 0,1,2 reserved, as tradition demands
 	k.readySet = k.metrics.Histogram("ready_set", stats.PowersOfTwo(4096)...)
-	// The syscall counters already live in Stats under statsMu; bridge
-	// them as func metrics rather than double-counting on the data path.
+	// The syscall counters live on atomics; bridge them as func metrics
+	// rather than double-counting on the data path.
 	counters := []struct {
 		name string
-		get  func(*Stats) uint64
+		c    *atomic.Uint64
 	}{
-		{"reads", func(s *Stats) uint64 { return s.Reads }},
-		{"writes", func(s *Stats) uint64 { return s.Writes }},
-		{"bytes_read", func(s *Stats) uint64 { return s.BytesRead }},
-		{"bytes_written", func(s *Stats) uint64 { return s.BytesWrote }},
-		{"eagains", func(s *Stats) uint64 { return s.EAGAINs }},
-		{"pipe_eagains", func(s *Stats) uint64 { return s.PipeEAGAINs }},
-		{"epoll_waits", func(s *Stats) uint64 { return s.EpollWaits }},
-		{"wakeups", func(s *Stats) uint64 { return s.Wakeups }},
-		{"backlog_rejects", func(s *Stats) uint64 { return s.BacklogRejects }},
+		{"reads", &k.counters.reads},
+		{"writes", &k.counters.writes},
+		{"bytes_read", &k.counters.bytesRead},
+		{"bytes_written", &k.counters.bytesWrote},
+		{"eagains", &k.counters.eagains},
+		{"pipe_eagains", &k.counters.pipeEAGAINs},
+		{"epoll_waits", &k.counters.epollWaits},
+		{"wakeups", &k.counters.wakeups},
+		{"spurious_wakeups", &k.counters.spuriousWakeups},
+		{"backlog_rejects", &k.counters.backlogRejects},
 	}
 	for _, c := range counters {
-		get := c.get
-		k.metrics.CounterFunc(c.name, func() uint64 {
-			k.statsMu.Lock()
-			defer k.statsMu.Unlock()
-			return get(&k.stats)
-		})
+		ctr := c.c
+		k.metrics.CounterFunc(c.name, ctr.Load)
 	}
 	k.metrics.GaugeFunc("open_fds", func() int64 { return int64(k.OpenFDs()) })
 	return k
@@ -196,27 +236,42 @@ func (k *Kernel) SetFaults(in *faults.Injector) { k.faults = in }
 
 // Snapshot returns a copy of the kernel's counters.
 func (k *Kernel) Snapshot() Stats {
-	k.statsMu.Lock()
-	defer k.statsMu.Unlock()
-	return k.stats
+	return Stats{
+		Reads:           k.counters.reads.Load(),
+		Writes:          k.counters.writes.Load(),
+		BytesRead:       k.counters.bytesRead.Load(),
+		BytesWrote:      k.counters.bytesWrote.Load(),
+		EAGAINs:         k.counters.eagains.Load(),
+		PipeEAGAINs:     k.counters.pipeEAGAINs.Load(),
+		EpollWaits:      k.counters.epollWaits.Load(),
+		Wakeups:         k.counters.wakeups.Load(),
+		SpuriousWakeups: k.counters.spuriousWakeups.Load(),
+		BacklogRejects:  k.counters.backlogRejects.Load(),
+	}
 }
 
 // Metrics exposes the kernel's registry for the observability layer.
 func (k *Kernel) Metrics() *stats.Registry { return k.metrics }
 
+// shard maps a descriptor to its table stripe.
+func (k *Kernel) shard(fd FD) *fdShard {
+	return &k.shards[uint64(fd)&(fdShardCount-1)]
+}
+
 func (k *Kernel) install(e endpoint) FD {
-	k.mu.Lock()
-	fd := k.next
-	k.next++
-	k.fds[fd] = e
-	k.mu.Unlock()
+	fd := FD(k.next.Add(1))
+	sh := k.shard(fd)
+	sh.mu.Lock()
+	sh.fds[fd] = e
+	sh.mu.Unlock()
 	return fd
 }
 
 func (k *Kernel) lookup(fd FD) (endpoint, error) {
-	k.mu.Lock()
-	e, ok := k.fds[fd]
-	k.mu.Unlock()
+	sh := k.shard(fd)
+	sh.mu.RLock()
+	e, ok := sh.fds[fd]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("fd %d: %w", fd, ErrBadFD)
 	}
@@ -235,27 +290,27 @@ func (k *Kernel) Read(fd FD, p []byte) (int, error) {
 	// forge because readiness is level-triggered: the retry path's epoll
 	// registration fires immediately if data really is there.
 	if err := k.faults.FireErr(faults.KernelRead, ErrIntr, ErrAgain, ErrIO); err != nil {
-		k.countIO(&k.stats.Reads, &k.stats.BytesRead, 0, err, e)
+		k.countIO(&k.counters.reads, &k.counters.bytesRead, 0, err, e)
 		return 0, err
 	}
 	n, err := e.read(p)
-	k.countIO(&k.stats.Reads, &k.stats.BytesRead, n, err, e)
+	k.countIO(&k.counters.reads, &k.counters.bytesRead, n, err, e)
 	return n, err
 }
 
 // countIO updates the syscall counters for one read or write. op and
-// bytes point into k.stats; callers pass which side they are.
-func (k *Kernel) countIO(op, bytes *uint64, n int, err error, e endpoint) {
-	k.statsMu.Lock()
-	*op++
-	*bytes += uint64(n)
+// bytes point into k.counters; callers pass which side they are.
+func (k *Kernel) countIO(op, bytes *atomic.Uint64, n int, err error, e endpoint) {
+	op.Add(1)
+	if n > 0 {
+		bytes.Add(uint64(n))
+	}
 	if errors.Is(err, ErrAgain) {
-		k.stats.EAGAINs++
+		k.counters.eagains.Add(1)
 		if isPipeEnd(e) {
-			k.stats.PipeEAGAINs++
+			k.counters.pipeEAGAINs.Add(1)
 		}
 	}
-	k.statsMu.Unlock()
 }
 
 // Write performs a nonblocking write on fd. It may write fewer bytes than
@@ -266,11 +321,11 @@ func (k *Kernel) Write(fd FD, p []byte) (int, error) {
 		return 0, err
 	}
 	if err := k.faults.FireErr(faults.KernelWrite, ErrIntr, ErrAgain, ErrIO); err != nil {
-		k.countIO(&k.stats.Writes, &k.stats.BytesWrote, 0, err, e)
+		k.countIO(&k.counters.writes, &k.counters.bytesWrote, 0, err, e)
 		return 0, err
 	}
 	n, err := e.write(p)
-	k.countIO(&k.stats.Writes, &k.stats.BytesWrote, n, err, e)
+	k.countIO(&k.counters.writes, &k.counters.bytesWrote, n, err, e)
 	return n, err
 }
 
@@ -287,12 +342,13 @@ func isPipeEnd(e endpoint) bool {
 
 // Close releases fd. Further operations on it return ErrBadFD.
 func (k *Kernel) Close(fd FD) error {
-	k.mu.Lock()
-	e, ok := k.fds[fd]
+	sh := k.shard(fd)
+	sh.mu.Lock()
+	e, ok := sh.fds[fd]
 	if ok {
-		delete(k.fds, fd)
+		delete(sh.fds, fd)
 	}
-	k.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("fd %d: %w", fd, ErrBadFD)
 	}
@@ -310,7 +366,12 @@ func (k *Kernel) Readiness(fd FD) (Event, error) {
 
 // OpenFDs reports the number of live descriptors.
 func (k *Kernel) OpenFDs() int {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return len(k.fds)
+	n := 0
+	for i := range k.shards {
+		sh := &k.shards[i]
+		sh.mu.RLock()
+		n += len(sh.fds)
+		sh.mu.RUnlock()
+	}
+	return n
 }

@@ -76,8 +76,14 @@ func (p *pipe) readData(b []byte) (int, error) {
 	}
 	p.head = (p.head + n) % len(p.buf)
 	p.count -= n
-	// Space became available: wake write-side waiters.
-	fired := p.writers.collect(p.writeReadiness())
+	// Space became available: wake write-side waiters. The readiness
+	// recomputation (and the fire-out below) is skipped entirely when no
+	// watch is parked — the common case once a poll round has already
+	// drained this edge.
+	var fired []*watch
+	if len(p.writers.watches) > 0 {
+		fired = p.writers.collect(p.writeReadiness())
+	}
 	p.mu.Unlock()
 	fireAll(fired, EventWrite)
 	return n, nil
@@ -109,7 +115,10 @@ func (p *pipe) writeData(b []byte) (int, error) {
 		p.buf[(tail+i)%len(p.buf)] = b[i]
 	}
 	p.count += n
-	fired := p.readers.collect(p.readReadiness())
+	var fired []*watch
+	if len(p.readers.watches) > 0 {
+		fired = p.readers.collect(p.readReadiness())
+	}
 	p.mu.Unlock()
 	fireAll(fired, EventRead)
 	return n, nil

@@ -1,0 +1,199 @@
+package kernel
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Targeted epoll signaling (thundering-herd regression)
+// ---------------------------------------------------------------------------
+
+// N waiters block on one epoll instance; events are delivered one at a
+// time, gated so each is harvested before the next is sent. Each event
+// must wake exactly one waiter: every waiter returns from its single Wait
+// with exactly one event, and the spurious-wakeup counter (woke with an
+// empty ready queue) stays at zero. Each waiter waits once and exits — a
+// waiter looping back into Wait could barge ahead of the signaled one and
+// legitimately leave it a spurious wake, which is a property of condition
+// variables, not of the signaling discipline under test. Under the old
+// cond.Broadcast, every delivery would wake all parked waiters and the
+// spurious counter would read ~(waiters-1) per event.
+func TestEpollTargetedSignalNoThunderingHerd(t *testing.T) {
+	k := newKernel()
+	ep := k.NewEpoll()
+	r, w := k.NewPipe(64)
+
+	const waiters = 8
+
+	var mu sync.Mutex
+	woke := 0 // events harvested across all waiters
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			evs, ok := ep.Wait()
+			if !ok {
+				t.Error("Wait returned closed before its event")
+				return
+			}
+			mu.Lock()
+			woke += len(evs)
+			mu.Unlock()
+			for range evs {
+				ep.Done()
+			}
+		}()
+	}
+
+	parked := func() int {
+		ep.mu.Lock()
+		defer ep.mu.Unlock()
+		return ep.waiting
+	}
+	buf := make([]byte, 8)
+	for i := 0; i < waiters; i++ {
+		// Deliver only once every not-yet-woken waiter is parked: a waiter
+		// still on its way into Wait could otherwise take the event ahead
+		// of the one the Signal chose (benign barging, but it would show
+		// up as a spurious wake and muddy the assertion).
+		want := waiters - i
+		waitFor(t, func() bool { return parked() == want })
+		// One-shot watch, then satisfy it: exactly one delivery.
+		if err := ep.Register(r, EventRead, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Write(w, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		// Wait for the harvest, then drain the pipe so the next
+		// registration parks instead of firing on stale readiness.
+		waitFor(t, func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return woke == i+1
+		})
+		if _, err := k.Read(r, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wg.Wait()
+	ep.Close()
+
+	if woke != waiters {
+		t.Fatalf("harvested %d events, want %d", woke, waiters)
+	}
+	if n := k.Snapshot().SpuriousWakeups; n != 0 {
+		t.Fatalf("spurious wakeups = %d, want 0 (thundering herd)", n)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// FD table sharding
+// ---------------------------------------------------------------------------
+
+// Two FDs in different shards must not serialize: with one shard's write
+// lock held, I/O on an FD in another shard still completes. Under the old
+// single kernel.mu this deadlocks (the read would block on the table
+// lock), so the test doubles as a probe that lookups take only their own
+// shard's lock.
+func TestShardedLookupsDoNotSerialize(t *testing.T) {
+	k := newKernel()
+	r1, w1 := k.NewPipe(64)
+	// Find a second pipe whose FDs land in different shards from r1's.
+	var r2, w2 FD
+	for {
+		r2, w2 = k.NewPipe(64)
+		if k.shard(r2) != k.shard(r1) && k.shard(w2) != k.shard(r1) {
+			break
+		}
+	}
+	_ = w1
+
+	// Hold r1's shard exclusively, as Close would.
+	sh := k.shard(r1)
+	sh.mu.Lock()
+	done := make(chan error, 1)
+	go func() {
+		if _, err := k.Write(w2, []byte("ping")); err != nil {
+			done <- err
+			return
+		}
+		buf := make([]byte, 8)
+		_, err := k.Read(r2, buf)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cross-shard I/O failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		sh.mu.Unlock()
+		t.Fatal("I/O on a different shard blocked behind a held shard lock")
+	}
+	sh.mu.Unlock()
+
+	// And the held shard really is exclusive: TryLock must fail.
+	if sh.mu.TryLock() {
+		sh.mu.Unlock()
+	} else {
+		t.Fatal("shard lock unexpectedly held after test")
+	}
+}
+
+// Concurrent I/O on many distinct FDs with -race: the sharded table and
+// atomic counters must tolerate full parallelism.
+func TestShardedConcurrentIOStress(t *testing.T) {
+	k := newKernel()
+	const pipes = 64
+	type pair struct{ r, w FD }
+	ps := make([]pair, pipes)
+	for i := range ps {
+		r, w := k.NewPipe(256)
+		ps[i] = pair{r, w}
+	}
+	var wg sync.WaitGroup
+	for _, p := range ps {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 16)
+			for i := 0; i < 200; i++ {
+				if _, err := k.Write(p.w, []byte("0123456789abcdef")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := k.Read(p.r, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			_ = k.Close(p.r)
+			_ = k.Close(p.w)
+		}()
+	}
+	wg.Wait()
+	if got := k.OpenFDs(); got != 0 {
+		t.Fatalf("open FDs after close-all: %d", got)
+	}
+	st := k.Snapshot()
+	if st.Reads != pipes*200 || st.Writes != pipes*200 {
+		t.Fatalf("reads=%d writes=%d, want %d each", st.Reads, st.Writes, pipes*200)
+	}
+}

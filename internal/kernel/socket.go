@@ -107,9 +107,9 @@ func (l *Listener) closeEnd() error {
 	l.closed = true
 	fired := l.waiters.collect(EventRead | EventHup)
 	l.mu.Unlock()
-	l.k.mu.Lock()
+	l.k.lmu.Lock()
 	delete(l.k.listeners, l.addr)
-	l.k.mu.Unlock()
+	l.k.lmu.Unlock()
 	fireAll(fired, EventRead|EventHup)
 	return nil
 }
@@ -160,18 +160,15 @@ func (k *Kernel) Listen(addr string, backlog int) (FD, error) {
 	if backlog == 0 {
 		backlog = DefaultBacklog
 	}
-	k.mu.Lock()
+	k.lmu.Lock()
 	if _, taken := k.listeners[addr]; taken {
-		k.mu.Unlock()
+		k.lmu.Unlock()
 		return 0, fmt.Errorf("listen %s: %w", addr, ErrAddrInUse)
 	}
 	l := &Listener{k: k, addr: addr, max: backlog}
 	k.listeners[addr] = l
-	fd := k.next
-	k.next++
-	k.fds[fd] = l
-	k.mu.Unlock()
-	return fd, nil
+	k.lmu.Unlock()
+	return k.install(l), nil
 }
 
 // Accept takes a pending connection off listenFD's backlog, returning
@@ -210,9 +207,9 @@ func (k *Kernel) Accept(listenFD FD) (FD, error) {
 // descriptor. Setup is instantaneous; a full backlog or missing listener
 // refuses the connection.
 func (k *Kernel) Connect(addr string) (FD, error) {
-	k.mu.Lock()
+	k.lmu.Lock()
 	l := k.listeners[addr]
-	k.mu.Unlock()
+	k.lmu.Unlock()
 	if l == nil {
 		return 0, fmt.Errorf("connect %s: %w", addr, ErrConnRefused)
 	}
@@ -225,9 +222,7 @@ func (k *Kernel) Connect(addr string) (FD, error) {
 		full := !l.closed
 		l.mu.Unlock()
 		if full {
-			k.statsMu.Lock()
-			k.stats.BacklogRejects++
-			k.statsMu.Unlock()
+			k.counters.backlogRejects.Add(1)
 		}
 		return 0, fmt.Errorf("connect %s: %w", addr, ErrConnRefused)
 	}

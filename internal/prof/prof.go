@@ -1,0 +1,59 @@
+// Package prof arms Go's pprof profilers behind command-line flags shared
+// by the benchmark binaries. All profiles default off; arming mutex or
+// block profiling changes runtime sampling rates, so a run with any
+// profile enabled is a separate trajectory from the committed figures.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start arms the requested profiles; empty paths leave that profiler off.
+// The returned stop function writes the armed profiles and must be called
+// exactly once (defer it). With all paths empty, Start is a no-op and
+// stop does nothing — the unprofiled run is untouched.
+func Start(cpuPath, mutexPath, blockPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if blockPath != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		writeProfile("mutex", mutexPath)
+		writeProfile("block", blockPath)
+	}, nil
+}
+
+func writeProfile(name, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prof:", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "prof:", err)
+	}
+}

@@ -182,8 +182,8 @@ func (c *Conn) sendSegLocked(flags Flags, payload iovec.Vec, track bool) {
 		c.delackCount = 0
 	}
 	c.lastWndAdvertised = seg.Window
-	c.s.stats.SegsOut++
-	c.s.stats.BytesOut += uint64(payload.Len())
+	c.s.stats.SegsOut.Add(1)
+	c.s.stats.BytesOut.Add(uint64(payload.Len()))
 	c.s.sendSeg(c.key.remoteAddr, seg)
 }
 
@@ -336,7 +336,7 @@ func (c *Conn) onRTOLocked() (wakes []func()) {
 	if len(c.rtx) == 0 {
 		return nil
 	}
-	c.s.stats.RTOExpiries++
+	c.s.stats.RTOExpiries.Add(1)
 	r := &c.rtx[0]
 	if r.retries >= c.s.cfg.MaxRetries {
 		return c.teardownLocked(ErrTimeout)
@@ -344,7 +344,7 @@ func (c *Conn) onRTOLocked() (wakes []func()) {
 	r.retries++
 	r.retransmitted = true
 	c.rttPending = false // Karn: no sample across a retransmission
-	c.s.stats.Retransmits++
+	c.s.stats.Retransmits.Add(1)
 	// RFC 5681 congestion response to loss.
 	flight := c.flightLocked()
 	half := flight / 2
@@ -377,7 +377,7 @@ func (c *Conn) resendLocked(r *rtxSeg) {
 		seg.Flags |= FlagACK
 		seg.Ack = c.rcvNxt
 	}
-	c.s.stats.SegsOut++
+	c.s.stats.SegsOut.Add(1)
 	c.s.sendSeg(c.key.remoteAddr, seg)
 }
 
@@ -399,7 +399,7 @@ func (c *Conn) armPersistLocked() {
 		if c.sndWnd == 0 && !c.sndBuf.Empty() && c.flightLocked() == 0 {
 			// Probe with one byte beyond the window; the receiver's
 			// buffer is elastic enough to absorb and acknowledge it.
-			c.s.stats.ZeroWindowProbes++
+			c.s.stats.ZeroWindowProbes.Add(1)
 			payload := c.sndBuf.Take(1)
 			c.sndBuf = c.sndBuf.Drop(1)
 			c.sendSegLocked(FlagACK, payload, true)
@@ -477,7 +477,7 @@ func (c *Conn) processLocked(seg *Segment) (wakes []func()) {
 		if c.state == StateSynSent {
 			err = ErrRefused
 		}
-		c.s.stats.RSTsIn++
+		c.s.stats.RSTsIn.Add(1)
 		return c.teardownLocked(err)
 	}
 
@@ -597,10 +597,10 @@ func (c *Conn) acceptAckLocked(seg *Segment) (wakes []func()) {
 		}
 	case ack == c.sndUna && seg.Payload.Empty() && c.flightLocked() > 0:
 		// Duplicate ACK (RFC 5681 fast retransmit).
-		c.s.stats.DupAcksIn++
+		c.s.stats.DupAcksIn.Add(1)
 		c.dupAcks++
 		if c.dupAcks == 3 && len(c.rtx) > 0 {
-			c.s.stats.FastRetransmits++
+			c.s.stats.FastRetransmits.Add(1)
 			flight := c.flightLocked()
 			half := flight / 2
 			if half < 2*uint32(c.s.cfg.MSS) {
@@ -682,7 +682,7 @@ func (c *Conn) processDataLocked(seg *Segment) (wakes []func()) {
 		progressed = true
 		c.drainOOOLocked()
 	case !payload.Empty() && seqGT(seq, c.rcvNxt):
-		c.s.stats.OutOfOrderIn++
+		c.s.stats.OutOfOrderIn.Add(1)
 		if len(c.ooo) < 1024 {
 			if _, dup := c.ooo[seq]; !dup {
 				c.ooo[seq] = payload
@@ -900,7 +900,7 @@ func (c *Conn) Abort() {
 		SrcPort: c.key.localPort, DstPort: c.key.remotePort,
 		Seq: c.sndNxt, Ack: c.rcvNxt, Flags: FlagRST | FlagACK,
 	}
-	c.s.stats.RSTsOut++
+	c.s.stats.RSTsOut.Add(1)
 	c.s.sendSeg(c.key.remoteAddr, rst)
 	wakes := c.teardownLocked(ErrClosed)
 	c.s.mu.Unlock()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hybrid/internal/bufpool"
@@ -130,6 +131,25 @@ type Stats struct {
 	SynsDropped              uint64
 }
 
+// tcpCounters is the hot-path mirror of Stats: one atomic per field, so
+// counting a segment never touches the protocol lock and the
+// observability layer's readers (CounterFunc closures, Snapshot) cannot
+// stall the data path.
+type tcpCounters struct {
+	SegsIn, SegsOut          atomic.Uint64
+	Retransmits              atomic.Uint64
+	FastRetransmits          atomic.Uint64
+	RTOExpiries              atomic.Uint64
+	ZeroWindowProbes         atomic.Uint64
+	DupAcksIn                atomic.Uint64
+	OutOfOrderIn             atomic.Uint64
+	RSTsIn, RSTsOut          atomic.Uint64
+	BadSegments              atomic.Uint64
+	BytesIn, BytesOut        atomic.Uint64
+	ConnsOpened, ConnsClosed atomic.Uint64
+	SynsDropped              atomic.Uint64
+}
+
 // Stack is one host's TCP instance, bound to a netsim host. All protocol
 // state is guarded by one lock; packet events, timer events, and user
 // calls serialize on it (the paper runs these as separate event loops
@@ -144,7 +164,8 @@ type Stack struct {
 	listeners map[uint16]*Listener
 	nextPort  uint16
 	issNext   uint32
-	stats     Stats
+
+	stats tcpCounters // atomics; not guarded by mu
 
 	metrics *stats.Registry
 }
@@ -163,29 +184,25 @@ func NewStack(host *netsim.Host, cfg Config) *Stack {
 	}
 	counters := []struct {
 		name string
-		get  func(*Stats) uint64
+		c    *atomic.Uint64
 	}{
-		{"segs_in", func(st *Stats) uint64 { return st.SegsIn }},
-		{"segs_out", func(st *Stats) uint64 { return st.SegsOut }},
-		{"retransmits", func(st *Stats) uint64 { return st.Retransmits }},
-		{"fast_retransmits", func(st *Stats) uint64 { return st.FastRetransmits }},
-		{"rto_expiries", func(st *Stats) uint64 { return st.RTOExpiries }},
-		{"zero_window_probes", func(st *Stats) uint64 { return st.ZeroWindowProbes }},
-		{"dup_acks_in", func(st *Stats) uint64 { return st.DupAcksIn }},
-		{"out_of_order_in", func(st *Stats) uint64 { return st.OutOfOrderIn }},
-		{"bytes_in", func(st *Stats) uint64 { return st.BytesIn }},
-		{"bytes_out", func(st *Stats) uint64 { return st.BytesOut }},
-		{"conns_opened", func(st *Stats) uint64 { return st.ConnsOpened }},
-		{"conns_closed", func(st *Stats) uint64 { return st.ConnsClosed }},
-		{"syns_dropped", func(st *Stats) uint64 { return st.SynsDropped }},
+		{"segs_in", &s.stats.SegsIn},
+		{"segs_out", &s.stats.SegsOut},
+		{"retransmits", &s.stats.Retransmits},
+		{"fast_retransmits", &s.stats.FastRetransmits},
+		{"rto_expiries", &s.stats.RTOExpiries},
+		{"zero_window_probes", &s.stats.ZeroWindowProbes},
+		{"dup_acks_in", &s.stats.DupAcksIn},
+		{"out_of_order_in", &s.stats.OutOfOrderIn},
+		{"bytes_in", &s.stats.BytesIn},
+		{"bytes_out", &s.stats.BytesOut},
+		{"conns_opened", &s.stats.ConnsOpened},
+		{"conns_closed", &s.stats.ConnsClosed},
+		{"syns_dropped", &s.stats.SynsDropped},
 	}
 	for _, c := range counters {
-		get := c.get
-		s.metrics.CounterFunc(c.name, func() uint64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return get(&s.stats)
-		})
+		ctr := c.c
+		s.metrics.CounterFunc(c.name, ctr.Load)
 	}
 	s.metrics.GaugeFunc("conns", func() int64 {
 		s.mu.Lock()
@@ -204,9 +221,24 @@ func (s *Stack) Addr() string { return s.host.Addr() }
 
 // Snapshot returns a copy of the stack's counters.
 func (s *Stack) Snapshot() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		SegsIn:           s.stats.SegsIn.Load(),
+		SegsOut:          s.stats.SegsOut.Load(),
+		Retransmits:      s.stats.Retransmits.Load(),
+		FastRetransmits:  s.stats.FastRetransmits.Load(),
+		RTOExpiries:      s.stats.RTOExpiries.Load(),
+		ZeroWindowProbes: s.stats.ZeroWindowProbes.Load(),
+		DupAcksIn:        s.stats.DupAcksIn.Load(),
+		OutOfOrderIn:     s.stats.OutOfOrderIn.Load(),
+		RSTsIn:           s.stats.RSTsIn.Load(),
+		RSTsOut:          s.stats.RSTsOut.Load(),
+		BadSegments:      s.stats.BadSegments.Load(),
+		BytesIn:          s.stats.BytesIn.Load(),
+		BytesOut:         s.stats.BytesOut.Load(),
+		ConnsOpened:      s.stats.ConnsOpened.Load(),
+		ConnsClosed:      s.stats.ConnsClosed.Load(),
+		SynsDropped:      s.stats.SynsDropped.Load(),
+	}
 }
 
 // allocPortLocked returns a free ephemeral port.
@@ -244,7 +276,7 @@ func (s *Stack) input(src string, data []byte) {
 	seg, err := Decode(data)
 	if err != nil {
 		s.mu.Lock()
-		s.stats.BadSegments++
+		s.stats.BadSegments.Add(1)
 		s.mu.Unlock()
 		return
 	}
@@ -254,7 +286,7 @@ func (s *Stack) input(src string, data []byte) {
 	// connection is in.
 	if s.cfg.Faults.Fire(faults.TCPDrop) {
 		s.mu.Lock()
-		s.stats.BadSegments++
+		s.stats.BadSegments.Add(1)
 		s.mu.Unlock()
 		return
 	}
@@ -262,8 +294,8 @@ func (s *Stack) input(src string, data []byte) {
 		seg.Flags |= FlagRST
 	}
 	s.mu.Lock()
-	s.stats.SegsIn++
-	s.stats.BytesIn += uint64(seg.Payload.Len())
+	s.stats.SegsIn.Add(1)
+	s.stats.BytesIn.Add(uint64(seg.Payload.Len()))
 	key := connKey{seg.DstPort, src, seg.SrcPort}
 	if c, ok := s.conns[key]; ok {
 		wakes := c.processLocked(seg)
@@ -276,7 +308,7 @@ func (s *Stack) input(src string, data []byte) {
 	if seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK == 0 {
 		if l, ok := s.listeners[seg.DstPort]; ok && !l.closed {
 			if l.pending+len(l.backlog) >= s.cfg.Backlog {
-				s.stats.SynsDropped++
+				s.stats.SynsDropped.Add(1)
 				s.mu.Unlock()
 				return
 			}
@@ -293,7 +325,7 @@ func (s *Stack) input(src string, data []byte) {
 	}
 	// Otherwise: RST in response to anything but an RST.
 	if seg.Flags&FlagRST == 0 {
-		s.stats.RSTsOut++
+		s.stats.RSTsOut.Add(1)
 		rst := &Segment{
 			SrcPort: seg.DstPort, DstPort: seg.SrcPort,
 			Seq: seg.Ack, Ack: seg.Seq + seg.seqLen(), Flags: FlagRST | FlagACK,
@@ -328,7 +360,7 @@ func (s *Stack) newConnLocked(key connKey, st State) *Conn {
 	c.sndUna = c.iss
 	c.sndNxt = c.iss
 	s.conns[key] = c
-	s.stats.ConnsOpened++
+	s.stats.ConnsOpened.Add(1)
 	return c
 }
 
@@ -336,7 +368,7 @@ func (s *Stack) newConnLocked(key connKey, st State) *Conn {
 func (s *Stack) removeConnLocked(c *Conn) {
 	if _, ok := s.conns[c.key]; ok {
 		delete(s.conns, c.key)
-		s.stats.ConnsClosed++
+		s.stats.ConnsClosed.Add(1)
 	}
 }
 

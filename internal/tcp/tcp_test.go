@@ -991,7 +991,7 @@ func TestListenerBacklogDropsSYNFloods(t *testing.T) {
 	}
 	b.mu.Lock()
 	embryonic := len(b.conns)
-	dropped := b.stats.SynsDropped
+	dropped := b.stats.SynsDropped.Load()
 	b.mu.Unlock()
 	clk.Exit()
 	if embryonic != 4 {

@@ -97,10 +97,20 @@ func (*realTimer) isTimerOwner() {}
 
 // VirtualClock is a discrete-event simulation clock. Time advances in
 // jumps to the next scheduled event, and only when the busy count is zero.
+//
+// The busy count and current time live on atomics so Enter/Exit — called
+// once per queued thread, per delivered event, per syscall retry — never
+// contend on the heap lock. Under the ownership discipline above, Enter is
+// only ever called by an activity that itself holds a busy count (work is
+// handed off, never conjured), so an atomic increment cannot race a
+// concurrent advance: while anyone could call Enter, busy was already
+// nonzero and the advance loop was not running. Only the 0-transition in
+// Exit takes the lock, to walk the event heap.
 type VirtualClock struct {
+	busy atomic.Int64
+	now  atomic.Int64 // written under mu; read lock-free
+
 	mu      sync.Mutex
-	now     Time
-	busy    int64
 	seq     uint64
 	events  eventHeap
 	running bool // an advance loop is executing callbacks
@@ -115,29 +125,22 @@ type VirtualClock struct {
 func NewVirtual() *VirtualClock { return &VirtualClock{} }
 
 // Now reports the current virtual time.
-func (c *VirtualClock) Now() Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
-}
+func (c *VirtualClock) Now() Time { return Time(c.now.Load()) }
 
 // Enter increments the busy count.
-func (c *VirtualClock) Enter() {
-	c.mu.Lock()
-	c.busy++
-	c.mu.Unlock()
-}
+func (c *VirtualClock) Enter() { c.busy.Add(1) }
 
 // Exit decrements the busy count and, if it reaches zero, advances time.
 func (c *VirtualClock) Exit() {
-	c.mu.Lock()
-	c.busy--
-	if c.busy < 0 {
-		c.mu.Unlock()
+	n := c.busy.Add(-1)
+	if n < 0 {
 		panic("vclock: Exit without matching Enter")
 	}
-	c.advanceLocked()
-	c.mu.Unlock()
+	if n == 0 {
+		c.mu.Lock()
+		c.advanceLocked()
+		c.mu.Unlock()
+	}
 }
 
 // After schedules fn to run at Now()+d. The callback runs with a busy
@@ -148,7 +151,7 @@ func (c *VirtualClock) After(d Duration, fn func()) *Timer {
 	}
 	c.mu.Lock()
 	c.seq++
-	t := &Timer{owner: c, when: c.now + Time(d), seq: c.seq, fn: fn, index: -1}
+	t := &Timer{owner: c, when: Time(c.now.Load()) + Time(d), seq: c.seq, fn: fn, index: -1}
 	heap.Push(&c.events, t)
 	// If the system is already quiescent, this event is immediately due
 	// to advance.
@@ -177,21 +180,21 @@ func (c *VirtualClock) advanceLocked() {
 		return
 	}
 	c.running = true
-	for c.busy == 0 && len(c.events) > 0 {
+	for c.busy.Load() == 0 && len(c.events) > 0 {
 		t := heap.Pop(&c.events).(*Timer)
-		if t.when > c.now {
-			c.now = t.when
+		if t.when > Time(c.now.Load()) {
+			c.now.Store(int64(t.when))
 		}
 		// Run the callback with a busy hold on its behalf so nested
 		// Exit calls cannot re-enter the advance loop concurrently.
-		c.busy++
+		c.busy.Add(1)
 		c.mu.Unlock()
 		t.fn()
 		c.mu.Lock()
-		c.busy--
+		c.busy.Add(-1)
 	}
 	c.running = false
-	if c.busy == 0 && len(c.events) == 0 && c.OnIdle != nil {
+	if c.busy.Load() == 0 && len(c.events) == 0 && c.OnIdle != nil {
 		fn := c.OnIdle
 		c.mu.Unlock()
 		fn()
@@ -208,11 +211,7 @@ func (c *VirtualClock) Pending() int {
 }
 
 // Busy reports the current busy count. Intended for tests.
-func (c *VirtualClock) Busy() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.busy
-}
+func (c *VirtualClock) Busy() int64 { return c.busy.Load() }
 
 // eventHeap is a min-heap ordered by (when, seq) so simultaneous events
 // fire in scheduling order, which keeps simulations deterministic.
