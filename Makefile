@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race race-smp tier2 stress overload-stress fuzz-smoke bench bench-smoke profile
+.PHONY: tier1 build vet test race race-smp determinism tier2 stress overload-stress fuzz-smoke bench bench-smoke profile
 
 # tier1 is the repository's gate: everything must build, vet clean, and
 # pass tests, with the race detector over the concurrency-heavy packages.
@@ -21,14 +21,32 @@ race:
 		./internal/kernel/
 
 # race-smp repeats the race leg with GOMAXPROCS pinned to 4 so parallel
-# dispatch (sharded kernel, batched epoll, stealing deques) is exercised
-# with real preemption interleavings even on wide CI machines. The bench
-# package is excluded: its replay-determinism tests assume the single-P
-# schedule the committed figures were generated under (pre-existing; see
-# DESIGN.md "Multicore scaling").
+# dispatch (sharded kernel, batched epoll, stealing deques, the clock's
+# epoch barrier) is exercised with real preemption interleavings even on
+# wide CI machines. The bench package is included since the epoch-barrier
+# clock: its determinism tests now assert reproducibility under real
+# parallelism rather than assuming a single-P schedule.
 race-smp:
 	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/core/... \
-		./internal/kernel/ ./internal/hio/
+		./internal/kernel/ ./internal/hio/ ./internal/vclock/ \
+		./internal/bench/
+
+# determinism is the figure-reproducibility gate: each figure CLI runs
+# twice at GOMAXPROCS=4 and the outputs must be byte-identical. This is
+# the end-to-end check of the epoch-barrier clock — virtual-time runs
+# have no host-scheduled actor left, so real parallelism must not move a
+# single byte of the default (hybrid-only) figure output. The -realtime
+# baseline columns are excluded by construction: kernel-thread arrival
+# order at the disk follows the host scheduler.
+determinism:
+	GOMAXPROCS=4 $(GO) run ./cmd/fig17disk -quick > det_fig17_a.tmp
+	GOMAXPROCS=4 $(GO) run ./cmd/fig17disk -quick > det_fig17_b.tmp
+	cmp det_fig17_a.tmp det_fig17_b.tmp
+	GOMAXPROCS=4 $(GO) run ./cmd/fig19web -quick > det_fig19_a.tmp
+	GOMAXPROCS=4 $(GO) run ./cmd/fig19web -quick > det_fig19_b.tmp
+	cmp det_fig19_a.tmp det_fig19_b.tmp
+	rm -f det_fig17_a.tmp det_fig17_b.tmp det_fig19_a.tmp det_fig19_b.tmp
+	@echo "determinism: fig17/fig19 output byte-identical across GOMAXPROCS=4 runs"
 
 # tier2 is the extended, non-gating suite (~30s): the randomized
 # scheduler stress tests under the race detector, the seeded overload
@@ -75,9 +93,11 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem -count=1 ./internal/bench/
 	$(GO) test -run 'Alloc' -count=1 ./internal/bench/ ./internal/httpd/ ./internal/stats/
 	$(GO) run ./cmd/benchjson -micro-only -label smoke -fig19 BENCH_smoke.json
-	$(GO) run ./cmd/fig19web -quick -scaling -workers 1 > SCALING_smoke.txt
-	$(GO) run ./cmd/fig19web -quick -scaling -workers 4 -stealing >> SCALING_smoke.txt
+	$(GO) run ./cmd/fig19web -quick -scaling -workers 4 -stats > SCALING_smoke.txt
+	$(GO) run ./cmd/fig19web -quick -scaling -workers 4 -stealing -stats >> SCALING_smoke.txt
 	cat SCALING_smoke.txt
+	@echo "— committed fig19-scaling baseline rows (BENCH_fig19.json) —"
+	@awk '/^\{/{buf=""} {buf=buf $$0 "\n"} /^\}/{if (buf ~ /"fig19-scaling"/ && (buf ~ /"pr5-multicore"/ || buf ~ /"pr6-/)) printf "%s", buf}' BENCH_fig19.json
 
 # profile captures pprof CPU/mutex/block profiles of the cached quick
 # workload at 4 workers, for inspecting the contention delta of scheduler

@@ -37,6 +37,18 @@ func PrintSeries(w io.Writer, xLabel string, points []Point, hybridName, nptlNam
 	}
 }
 
+// PrintHybridSeries renders only the hybrid column. The default figure
+// output uses this: the baseline columns run kernel threads whose
+// interleaving is host-scheduled (goroutine arrival order at the disk and
+// the spawn budget), so they are only printed under the -realtime flag,
+// keeping default output byte-for-byte reproducible.
+func PrintHybridSeries(w io.Writer, xLabel string, points []Point, hybridName string) {
+	fmt.Fprintf(w, "%-12s %14s\n", xLabel, hybridName)
+	for _, p := range points {
+		fmt.Fprintf(w, "%-12d %14s\n", p.X, cell(p.Hybrid))
+	}
+}
+
 func cell(v float64) string {
 	if math.IsNaN(v) {
 		return "-"

@@ -127,6 +127,10 @@ func fig17Stats(cfg Fig17Config, threads int, sched disk.Scheduler, supervised b
 		sup = newSuperviseStats()
 	}
 	mbps := fig17Run(cfg, threads, clk, rt, io, f, in, sup)
+	// The run's end is signalled from inside the last thread's trace; the
+	// worker is still retiring that thread when the signal arrives, so
+	// quiesce before snapshotting or the completion counters race.
+	rt.WaitIdle()
 	snap := stats.Snapshot{}
 	snap.Merge("sched", rt.Stats().Snapshot())
 	snap.Merge("kernel", k.Metrics().Snapshot())
@@ -236,6 +240,14 @@ func Fig17NPTL(cfg Fig17Config, threads int) float64 {
 	start := clk.Now()
 	var spawnFailed bool
 	var mu sync.Mutex
+	// Freeze virtual time for the whole spawn loop. Without this, threads
+	// spawned early could run to completion (their reads finishing on the
+	// advancing clock) and release stack budget before the loop ends, so
+	// whether a given count fit the budget depended on the host scheduler
+	// — the spawn-budget race. With the clock held, no disk completion
+	// fires until every thread is spawned, making the budget verdict a
+	// pure function of the thread count.
+	clk.Enter()
 	for ti := 0; ti < threads; ti++ {
 		reads := perThread
 		if ti < extra {
@@ -258,6 +270,7 @@ func Fig17NPTL(cfg Fig17Config, threads int) float64 {
 			break
 		}
 	}
+	clk.Exit()
 	rt.Wait()
 	if spawnFailed {
 		return math.NaN()

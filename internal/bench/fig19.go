@@ -176,8 +176,16 @@ func Fig19HybridStats(cfg Fig19Config, conns int) (float64, stats.Snapshot) {
 		scfg.DiskRetries = 2
 	}
 	srv := httpd.NewServer(io, scfg)
-	rt.Spawn(srv.ListenAndServe("web:80"))
+	serve, err := srv.BindAndServe("web:80")
+	if err != nil {
+		panic(err)
+	}
+	rt.Spawn(serve)
 	mbps := runLoad(clk, rt, io, cfg, conns)
+	// Quiesce to the accept-loop thread alone before snapshotting: the
+	// load generator's completion is signalled from inside a trace, so
+	// handler retirements may still be in flight on other workers.
+	rt.WaitLive(1)
 	snap := stats.Snapshot{}
 	snap.Merge("sched", rt.Stats().Snapshot())
 	snap.Merge("kernel", k.Metrics().Snapshot())
@@ -212,8 +220,13 @@ func Fig19HybridPerf(cfg Fig19Config, conns int) Fig19Perf {
 		ChunkBytes: int(cfg.FileBytes),
 	}
 	srv := httpd.NewServer(io, scfg)
-	rt.Spawn(srv.ListenAndServe("web:80"))
+	serve, err := srv.BindAndServe("web:80")
+	if err != nil {
+		panic(err)
+	}
+	rt.Spawn(serve)
 	mbps, gen := runLoadGen(clk, rt, io, cfg, conns, true)
+	rt.WaitLive(1)
 	snap := stats.Snapshot{}
 	snap.Merge("sched", rt.Stats().Snapshot())
 	snap.Merge("kernel", k.Metrics().Snapshot())

@@ -82,7 +82,11 @@ func Fig19Overload(cfg Fig19Config, conns, offeredX int, protected bool) Overloa
 		scfg.DiskRetries = 2
 	}
 	srv := httpd.NewServer(io, scfg)
-	rt.Spawn(srv.ListenAndServe("web:80"))
+	serve, err := srv.BindAndServe("web:80")
+	if err != nil {
+		panic(err)
+	}
+	rt.Spawn(serve)
 
 	per := cfg.TotalRequests / conns
 	if per < 1 {
@@ -112,6 +116,9 @@ func Fig19Overload(cfg Fig19Config, conns, offeredX int, protected bool) Overloa
 	})))
 	<-done
 	elapsed := time.Duration(end - start)
+	// Quiesce to the accept-loop thread before reading counters: handler
+	// retirements may still be in flight on other workers.
+	rt.WaitLive(1)
 
 	run := OverloadRun{
 		Conns:     conns,

@@ -36,23 +36,24 @@ func TestFig19ScalingSmoke(t *testing.T) {
 
 // The determinism canary: two Workers=1 runs of the same workload must
 // land on bit-identical virtual throughput — the invariant every figure
-// in the repository depends on, now guarded against regressions from the
-// batched-dispatch path (a single worker drains its own batches, so
-// batching must not perturb the virtual-time trajectory).
+// in the repository depends on.
 //
-// Determinism is conditioned on GOMAXPROCS=1, today as before this test
-// existed: with real parallelism, the worker, the epoll harvester, and
-// the clock's timer goroutine race their enqueue order, which reorders
-// requests through the shared-bandwidth link model. The committed figure
-// baselines are single-P runs, so the test pins that configuration.
+// The test deliberately runs at GOMAXPROCS=4. Determinism used to be
+// conditioned on a single P (the worker, the epoll harvester, and the
+// clock's timer goroutine raced their enqueue order); the epoch-barrier
+// clock removed every host-scheduled actor from the virtual domain —
+// readiness resumes dispatch synchronously, timers fire in (when, seq)
+// order behind the dispatch gate — so Workers=1 runs must now reproduce
+// under real parallelism. This is the same property the CI determinism
+// gate checks end to end on the figure CLIs.
 func TestFig19ScalingWorker1Deterministic(t *testing.T) {
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
 	cfg := Fig19Quick()
 	cfg.TotalRequests = 256
 	a := Fig19Scaling(cfg, 16, []int{1}, false)
 	b := Fig19Scaling(cfg, 16, []int{1}, false)
 	if a[0].VirtMBps != b[0].VirtMBps {
-		t.Fatalf("Workers=1 virtual throughput not reproducible: %.9f vs %.9f",
+		t.Fatalf("Workers=1 virtual throughput not reproducible at GOMAXPROCS=4: %.9f vs %.9f",
 			a[0].VirtMBps, b[0].VirtMBps)
 	}
 }

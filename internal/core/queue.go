@@ -3,18 +3,28 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+
+	"hybrid/internal/vclock"
 )
 
 // readyQueue abstracts the scheduler's task queue (Figure 14's arrows).
 // The default sharedQueue is the paper's single ready_queue; stealingQueue
 // implements the per-scheduler queues with work stealing that §4.4
 // sketches as an improvement.
+//
+// When the runtime runs in the virtual timing domain, the ready queue is
+// bound to the clock (bindClock) and becomes the clock's quiescer: it
+// tracks which workers are parked in per-worker cache-line-padded flags,
+// and virtual time advances only when every worker is parked and no
+// thread is queued anywhere. Workers entering pop also stage behind the
+// clock's dispatch gate, so a timestamp's event batch is fully fanned out
+// before any worker consumes the threads it made runnable.
 type readyQueue interface {
 	// push appends a runnable thread. It reports whether the thread was
 	// accepted: a closed queue rejects, and the caller must then account
-	// for the thread itself (release its clock hold, mark it done) —
-	// silently dropping a TCB leaks the busy hold taken at enqueue and
-	// wedges WaitIdle and virtual-clock quiescence.
+	// for the thread itself (mark it done, release any deferred-completion
+	// ticket) — silently dropping a TCB wedges WaitIdle and virtual-clock
+	// quiescence.
 	push(t *TCB) bool
 	// pushLocal appends a runnable thread with affinity to the given
 	// worker: a work-stealing queue puts it on that worker's own deque
@@ -36,6 +46,20 @@ type readyQueue interface {
 	close() []*TCB
 	// size reports the number of queued threads (diagnostics).
 	size() int
+	// bindClock makes the queue the virtual clock's quiescer for the
+	// given number of workers. Must be called before any worker pops.
+	bindClock(vc *vclock.VirtualClock, workers int)
+}
+
+// parkFlag is one worker's parked indicator, padded out to its own cache
+// line so adjacent workers' flags do not false-share. The flags (and the
+// nparked aggregate) are maintained under the queue lock: a worker is
+// "parked" from the moment it finds the queue dry until it takes work or
+// exits, including the window where it is driving the clock's dispatch
+// loop — it holds no threads then, so it does not obstruct quiescence.
+type parkFlag struct {
+	parked bool
+	_      [63]byte
 }
 
 // ---------------------------------------------------------------------------
@@ -51,12 +75,37 @@ type sharedQueue struct {
 	count   int
 	waiting int // workers blocked in pop, for targeted batch signaling
 	closed  bool
+
+	// Virtual-clock binding (nil for the blio pool and real-clock runs).
+	vc      *vclock.VirtualClock
+	workers int
+	parked  []parkFlag
+	nparked int
+	exited  int // workers gone after close; they count as parked forever
 }
 
 func newSharedQueue() *sharedQueue {
 	q := &sharedQueue{ring: make([]*TCB, 64)}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+func (q *sharedQueue) bindClock(vc *vclock.VirtualClock, workers int) {
+	q.vc = vc
+	q.workers = workers
+	q.parked = make([]parkFlag, workers)
+	vc.RegisterQuiescer(q.idle)
+}
+
+// idle is the clock's quiescer: no queued threads and every worker parked
+// (or exited). Any activity that could make new work runnable while all
+// workers are parked must hold the clock (Enter before publishing), so
+// once this reports true under the clock lock, it stays true until the
+// clock dispatches.
+func (q *sharedQueue) idle() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count == 0 && q.nparked+q.exited == q.workers
 }
 
 func (q *sharedQueue) push(t *TCB) bool {
@@ -113,23 +162,73 @@ func (q *sharedQueue) grow() {
 	q.head = 0
 }
 
-func (q *sharedQueue) pop(int) (*TCB, bool, bool) {
+func (q *sharedQueue) pop(worker int) (*TCB, bool, bool) {
 	q.mu.Lock()
-	for q.count == 0 && !q.closed {
+	if q.vc == nil {
+		// Classic path: blio pool and real-clock runtimes.
+		for q.count == 0 && !q.closed {
+			q.waiting++
+			q.cond.Wait()
+			q.waiting--
+		}
+		if q.count == 0 {
+			q.mu.Unlock()
+			return nil, false, false
+		}
+		t := q.take()
+		q.mu.Unlock()
+		return t, false, true
+	}
+	// Clock-bound path: the worker is one leg of the epoch barrier.
+	for {
+		if q.count == 0 && q.closed {
+			q.exited++
+			q.mu.Unlock()
+			// Final advance: pending timers may still fire; their resumes
+			// hit the closed queue and are discarded with full accounting.
+			q.vc.Advance()
+			return nil, false, false
+		}
+		if q.vc.GateClosed() {
+			// A timestamp's event batch is mid-flight: stage until the
+			// whole batch has fanned out.
+			q.mu.Unlock()
+			q.vc.Gate()
+			q.mu.Lock()
+			continue
+		}
+		if q.count > 0 {
+			t := q.take()
+			q.mu.Unlock()
+			return t, false, true
+		}
+		// Dry: park and offer to drive the clock. While inside Advance the
+		// worker stays counted as parked — it holds no work.
+		q.parked[worker].parked = true
+		q.nparked++
+		q.mu.Unlock()
+		q.vc.Advance()
+		q.mu.Lock()
+		if q.count > 0 || q.closed || q.vc.GateClosed() {
+			q.parked[worker].parked = false
+			q.nparked--
+			continue
+		}
 		q.waiting++
 		q.cond.Wait()
 		q.waiting--
+		q.parked[worker].parked = false
+		q.nparked--
 	}
-	if q.count == 0 {
-		q.mu.Unlock()
-		return nil, false, false
-	}
+}
+
+// take removes the oldest thread. Called with q.mu held and count > 0.
+func (q *sharedQueue) take() *TCB {
 	t := q.ring[q.head]
 	q.ring[q.head] = nil
 	q.head = (q.head + 1) % len(q.ring)
 	q.count--
-	q.mu.Unlock()
-	return t, false, true
+	return t
 }
 
 func (q *sharedQueue) close() []*TCB {
@@ -137,10 +236,7 @@ func (q *sharedQueue) close() []*TCB {
 	q.closed = true
 	var drained []*TCB
 	for q.count > 0 {
-		drained = append(drained, q.ring[q.head])
-		q.ring[q.head] = nil
-		q.head = (q.head + 1) % len(q.ring)
-		q.count--
+		drained = append(drained, q.take())
 	}
 	q.mu.Unlock()
 	q.cond.Broadcast()
@@ -171,6 +267,12 @@ type stealingQueue struct {
 	waiting int // workers blocked in pop, for targeted batch signaling
 	closed  bool
 
+	// Virtual-clock binding (nil on real-clock runs).
+	vc      *vclock.VirtualClock
+	parked  []parkFlag
+	nparked int
+	exited  int
+
 	// slots[w] is worker w's one-thread buffer, the pushLocal fast path:
 	// pushLocal(w) is called only from worker w's goroutine (batch
 	// exhaustion), and pop(w) drains the slot first, so the common
@@ -178,6 +280,12 @@ type stealingQueue struct {
 	// atomic because idle foreign workers and close() may still steal from
 	// a slot when every deque is dry. closedMirror and slotCount shadow
 	// closed/total so the lock-free paths can consult them.
+	//
+	// The slot fast path needs no dispatch-gate check: the gate closes
+	// only when every worker is parked, and a worker with a loaded slot
+	// was running an instant ago — the quiescer cannot have reported idle
+	// (slotCount was nonzero and the worker unparked), so no batch starts
+	// while any slot is in play.
 	slots        []ownerSlot
 	slotCount    atomic.Int64
 	closedMirror atomic.Bool
@@ -198,6 +306,19 @@ func newStealingQueue(workers int) *stealingQueue {
 	}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+func (q *stealingQueue) bindClock(vc *vclock.VirtualClock, workers int) {
+	q.vc = vc
+	q.parked = make([]parkFlag, len(q.deques))
+	vc.RegisterQuiescer(q.idle)
+}
+
+// idle is the clock's quiescer; see sharedQueue.idle.
+func (q *stealingQueue) idle() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total == 0 && q.slotCount.Load() == 0 && q.nparked+q.exited == len(q.deques)
 }
 
 func (q *stealingQueue) push(t *TCB) bool {
@@ -299,14 +420,46 @@ func (q *stealingQueue) pop(worker int) (*TCB, bool, bool) {
 	}
 	q.mu.Lock()
 	for {
-		for q.total == 0 && q.slotCount.Load() == 0 && !q.closed {
+		if q.vc != nil && q.vc.GateClosed() {
+			q.mu.Unlock()
+			q.vc.Gate()
+			q.mu.Lock()
+			continue
+		}
+		if q.total == 0 && q.slotCount.Load() == 0 {
+			if q.closed {
+				if q.vc == nil {
+					q.mu.Unlock()
+					return nil, false, false
+				}
+				q.exited++
+				q.mu.Unlock()
+				q.vc.Advance()
+				return nil, false, false
+			}
+			// Dry: park, and with a clock bound, offer to drive it.
+			if q.vc != nil {
+				q.parked[w].parked = true
+				q.nparked++
+				q.mu.Unlock()
+				q.vc.Advance()
+				q.mu.Lock()
+				if q.total > 0 || q.slotCount.Load() != 0 || q.closed || q.vc.GateClosed() {
+					q.parked[w].parked = false
+					q.nparked--
+					continue
+				}
+				q.waiting++
+				q.cond.Wait()
+				q.waiting--
+				q.parked[w].parked = false
+				q.nparked--
+				continue
+			}
 			q.waiting++
 			q.cond.Wait()
 			q.waiting--
-		}
-		if q.total == 0 && q.slotCount.Load() == 0 {
-			q.mu.Unlock()
-			return nil, false, false
+			continue
 		}
 		// Own deque first (FIFO for round-robin fairness within a worker)…
 		if len(q.deques[w]) > 0 {
@@ -353,7 +506,8 @@ func (q *stealingQueue) pop(worker int) (*TCB, bool, bool) {
 				return t, true, true
 			}
 		}
-		// Raced with another popper for the slot contents; wait again.
+		// Raced with another popper for the slot contents; loop back to
+		// the dry branch and wait.
 	}
 }
 

@@ -18,8 +18,9 @@ type TCB struct {
 	id         uint64
 	trace      Trace
 	handlers   []func(error) Trace
-	cleanups   []func()     // Ensure frames, run LIFO on abnormal death
-	blioEffect func() Trace // set while the thread is queued for the blio pool
+	cleanups   []func()        // Ensure frames, run LIFO on abnormal death
+	blioEffect func() Trace    // set while the thread is queued for the blio pool
+	blioTicket *vclock.Pending // virtual-clock completion ticket for the queued effect
 }
 
 // ID reports the thread's identifier, unique within its runtime.
@@ -152,6 +153,7 @@ func newSchedMetrics(r *stats.Registry, workers int) *schedMetrics {
 type Runtime struct {
 	opts  Options
 	clock vclock.Clock
+	vc    *vclock.VirtualClock // non-nil when clock is virtual: tickets, quiescer binding
 
 	ready readyQueue
 	blio  *sharedQueue // unbounded queue feeding the blocking-I/O pool
@@ -163,8 +165,9 @@ type Runtime struct {
 	metrics *stats.Registry
 	m       *schedMetrics
 
-	idleMu   sync.Mutex
-	idleCond *sync.Cond
+	idleMu      sync.Mutex
+	idleCond    *sync.Cond
+	idleWaiters atomic.Int64 // WaitLive waiters needing a broadcast per retirement
 
 	uncaughtMu   sync.Mutex
 	uncaught     []uncaughtRecord
@@ -183,10 +186,18 @@ func NewRuntime(opts Options) *Runtime {
 	rt.metrics.GaugeFunc("live", rt.Live)
 	rt.metrics.CounterFunc("spawned", rt.spawned.Load)
 	rt.idleCond = sync.NewCond(&rt.idleMu)
+	rt.vc, _ = opts.Clock.(*vclock.VirtualClock)
 	if opts.WorkStealing {
 		rt.ready = newStealingQueue(opts.Workers)
 	} else {
 		rt.ready = newSharedQueue()
+	}
+	if rt.vc != nil {
+		// The ready queue becomes the clock's quiescer: virtual time
+		// advances only when every worker is parked with nothing queued.
+		// The blio queue is deliberately unbound — pending blocking
+		// effects pin the clock through their completion tickets instead.
+		rt.ready.bindClock(rt.vc, opts.Workers)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		rt.wg.Add(1)
@@ -235,18 +246,26 @@ func (rt *Runtime) spawnTrace(tr Trace) {
 	tcb := rt.newTCB(tr)
 	rt.live.Add(1)
 	rt.spawned.Add(1)
+	// Spawn may come from outside any worker or event callback (main
+	// goroutine, an NPTL thread): hold the clock across the publish so a
+	// concurrently-quiescing system cannot advance or report idle while
+	// the thread is in flight to the queue.
+	rt.clock.Enter()
 	rt.enqueue(tcb)
+	rt.clock.Exit()
 }
 
-// enqueue makes a thread runnable. Every queued or running thread holds
-// one busy count on the clock, taken here and released when a worker
-// finishes with the thread (parks it, ends it, or re-enqueues it, which
-// takes a fresh hold first). If the queue rejects the thread (Shutdown
-// racing a Spawn or a resume), the hold is released and the thread
-// accounted as done here — the rejection path must leave the clock and
-// the live count exactly as a completed thread would.
+// enqueue makes a thread runnable. The clock is not touched: queued
+// threads pin virtual time through the ready queue's quiescer (the clock
+// cannot advance while anything is queued or any worker is unparked), so
+// the per-enqueue Enter/Exit pair the old design paid on every dispatch
+// is gone from the hot path. Callers pushing from outside the runtime's
+// workers and event callbacks (external Spawn) must bracket the push with
+// their own clock hold so quiescence cannot be declared mid-publish. If
+// the queue rejects the thread (Shutdown racing a Spawn or a resume), the
+// thread is accounted as done here — the rejection path must leave the
+// clock and the live count exactly as a completed thread would.
 func (rt *Runtime) enqueue(tcb *TCB) {
-	rt.clock.Enter()
 	if !rt.ready.push(tcb) {
 		rt.discard(tcb)
 	}
@@ -256,7 +275,6 @@ func (rt *Runtime) enqueue(tcb *TCB) {
 // re-queues the thread it was just executing (batch exhaustion): on a
 // work-stealing queue the thread lands on that worker's own deque.
 func (rt *Runtime) enqueueLocal(worker int, tcb *TCB) {
-	rt.clock.Enter()
 	if !rt.ready.pushLocal(worker, tcb) {
 		rt.discard(tcb)
 	}
@@ -276,11 +294,11 @@ type Batch struct {
 // NewBatch returns an empty re-enqueue batch for this runtime.
 func (rt *Runtime) NewBatch() *Batch { return &Batch{rt: rt} }
 
-// add stages a resumed thread. The clock hold that enqueue would take is
-// taken here, so a staged thread keeps virtual time pinned exactly like a
-// queued one.
+// add stages a resumed thread. Batches are filled inside event-loop
+// callbacks, which run while the clock is pinned (a dispatch batch in the
+// virtual domain, a kernel-held event in the queued one), so staged
+// threads need no hold of their own.
 func (b *Batch) add(tcb *TCB) {
-	b.rt.clock.Enter()
 	b.tcbs = append(b.tcbs, tcb)
 }
 
@@ -308,15 +326,18 @@ func (b *Batch) Flush() {
 	b.tcbs = b.tcbs[:0]
 }
 
-// discard accounts for a thread rejected by a closed queue: the clock
-// hold taken on its behalf is released and the thread counted as done, so
-// WaitIdle and virtual-clock quiescence see the same state as if the
-// thread had completed.
+// discard accounts for a thread rejected by a closed queue: any
+// deferred-completion ticket it carried is cancelled (releasing its clock
+// hold) and the thread counted as done, so WaitIdle and virtual-clock
+// quiescence see the same state as if the thread had completed.
 func (rt *Runtime) discard(tcb *TCB) {
 	rt.m.rejected.Inc()
 	tcb.blioEffect = nil
+	if tk := tcb.blioTicket; tk != nil {
+		tcb.blioTicket = nil
+		tk.Cancel()
+	}
 	rt.threadDone(tcb)
-	rt.clock.Exit()
 }
 
 // Live reports the number of threads that have been spawned and not yet
@@ -370,6 +391,22 @@ func (rt *Runtime) WaitIdle() {
 	rt.idleMu.Unlock()
 }
 
+// WaitLive blocks until at most n live threads remain. A harness whose
+// system keeps permanent threads (a server's accept loop) uses this to
+// quiesce before reading metrics: a workload signalling completion from
+// inside a thread's trace returns to the host before the worker has
+// retired that thread, so counters like completed and live are still
+// moving — under parallel workers the host would snapshot mid-retirement.
+func (rt *Runtime) WaitLive(n int64) {
+	rt.idleMu.Lock()
+	rt.idleWaiters.Add(1)
+	for rt.live.Load() > n {
+		rt.idleCond.Wait()
+	}
+	rt.idleWaiters.Add(-1)
+	rt.idleMu.Unlock()
+}
+
 // Run spawns m and waits until every thread in the runtime (m and
 // anything it forked) has terminated.
 func (rt *Runtime) Run(m M[Unit]) {
@@ -378,16 +415,14 @@ func (rt *Runtime) Run(m M[Unit]) {
 }
 
 // Shutdown stops the worker loops. Threads still queued are discarded —
-// with their clock holds released and the live count decremented, so a
-// post-Shutdown WaitIdle cannot wedge on them — but call WaitIdle first
-// for a clean drain. Parked threads whose resume never fires remain live.
-// Shutdown is idempotent.
+// with their completion tickets cancelled and the live count decremented,
+// so a post-Shutdown WaitIdle cannot wedge on them — but call WaitIdle
+// first for a clean drain. Parked threads whose resume never fires remain
+// live. Shutdown is idempotent.
 func (rt *Runtime) Shutdown() {
 	if !rt.closed.CompareAndSwap(false, true) {
 		return
 	}
-	// Each drained thread still owns the clock hold taken when it was
-	// enqueued; discard releases it and decrements the live count.
 	for _, tcb := range rt.ready.close() {
 		rt.discard(tcb)
 	}
@@ -416,7 +451,7 @@ func (rt *Runtime) threadDone(tcb *TCB) {
 	}
 	tcb.cleanups = nil
 	rt.m.completed.Inc()
-	if rt.live.Add(-1) == 0 {
+	if rt.live.Add(-1) == 0 || rt.idleWaiters.Load() != 0 {
 		rt.idleMu.Lock()
 		rt.idleCond.Broadcast()
 		rt.idleMu.Unlock()
@@ -427,6 +462,7 @@ func (rt *Runtime) threadDone(tcb *TCB) {
 	tcb.trace = nil
 	tcb.handlers = nil
 	tcb.blioEffect = nil
+	tcb.blioTicket = nil
 	tcbPool.Put(tcb)
 }
 
@@ -475,18 +511,18 @@ func (rt *Runtime) workerMain(id int) {
 
 // step interprets up to BatchSteps nodes of tcb's trace and records how
 // much of the budget the dispatch used. On return the thread has been
-// re-enqueued, parked, or terminated, and the clock hold taken at enqueue
-// has been released or transferred.
+// re-enqueued, parked, or terminated. The clock is untouched: an
+// executing worker is unparked, which by itself keeps virtual time from
+// advancing.
 //
 // With TrapPanics set, step is also the runtime's last line of defense:
 // runEffect traps panics inside NBIO/Blio effects, but a panic raised
 // while building a trace — in a Catch handler, a continuation, or a
-// Suspend registration — escapes interpret with the dispatch's clock hold
-// still owned. Seed behaviour was to let it kill the worker goroutine
-// (and with it the process); now the panic kills only the offending
-// thread: its Ensure cleanups run, the panic is reported as an uncaught
-// *PanicError, and the clock hold and live count are released exactly as
-// for a completed thread.
+// Suspend registration — escapes interpret. Seed behaviour was to let it
+// kill the worker goroutine (and with it the process); now the panic
+// kills only the offending thread: its Ensure cleanups run, the panic is
+// reported as an uncaught *PanicError, and the live count is released
+// exactly as for a completed thread.
 func (rt *Runtime) step(worker int, tcb *TCB) {
 	if rt.opts.TrapPanics {
 		defer func() {
@@ -494,17 +530,25 @@ func (rt *Runtime) step(worker int, tcb *TCB) {
 				rt.m.panicKills.Inc()
 				rt.reportUncaught(tcb, &PanicError{Value: v})
 				rt.threadDone(tcb)
-				rt.clock.Exit()
 			}
 		}()
 	}
-	used := rt.interpret(worker, tcb)
+	used, retired := rt.interpret(worker, tcb)
 	rt.m.batchUsed.Observe(int64(used))
+	// Retirement happens after the dispatch's own accounting: threadDone
+	// releases WaitIdle/WaitLive, and a waiter snapshotting metrics must
+	// not observe the final dispatch half-recorded (counted in dispatches
+	// but missing from batch_used).
+	if retired {
+		rt.threadDone(tcb)
+	}
 }
 
 // interpret is the case analysis at the heart of the hybrid model: each
-// arm is one system call. It returns the number of trace nodes executed.
-func (rt *Runtime) interpret(worker int, tcb *TCB) (used int) {
+// arm is one system call. It returns the number of trace nodes executed,
+// and whether the thread terminated (the caller runs threadDone after
+// recording the dispatch, so retirement is the last observable effect).
+func (rt *Runtime) interpret(worker int, tcb *TCB) (used int, retired bool) {
 	tr := tcb.trace
 	tcb.trace = nil
 	for budget := rt.opts.BatchSteps; budget > 0; budget-- {
@@ -525,20 +569,15 @@ func (rt *Runtime) interpret(worker int, tcb *TCB) (used int) {
 			rt.m.yields.Inc()
 			tcb.trace = n.Cont
 			rt.enqueue(tcb)
-			rt.clock.Exit()
-			return used
+			return used, false
 
 		case *RetNode:
-			rt.threadDone(tcb)
-			rt.clock.Exit()
-			return used
+			return used, true
 
 		case *ThrowNode:
 			if len(tcb.handlers) == 0 {
 				rt.reportUncaught(tcb, n.Err)
-				rt.threadDone(tcb)
-				rt.clock.Exit()
-				return used
+				return used, true
 			}
 			h := tcb.handlers[len(tcb.handlers)-1]
 			tcb.handlers = tcb.handlers[:len(tcb.handlers)-1]
@@ -571,10 +610,11 @@ func (rt *Runtime) interpret(worker int, tcb *TCB) (used int) {
 			tr = n.Cont
 
 		case *SuspendNode:
-			// Park the thread. The resume closure re-enqueues it via
-			// enqueue, which takes a fresh clock hold; our own hold is
-			// released only after Park returns, so even if resume runs
-			// synchronously the busy count never touches zero in between.
+			// Park the thread. The resume closure re-enqueues it; while we
+			// are inside Park this worker is unparked, so virtual time
+			// cannot slip even if resume runs synchronously. A resume
+			// firing later runs inside an event callback (dispatch batch),
+			// which equally pins the clock.
 			rt.m.parks.Inc()
 			id := tcb.id
 			if n.ParkB != nil {
@@ -605,8 +645,7 @@ func (rt *Runtime) interpret(worker int, tcb *TCB) (used int) {
 					rt.enqueue(tcb)
 				})
 			}
-			rt.clock.Exit()
-			return used
+			return used, false
 
 		case *BlioNode:
 			if rt.blio == nil {
@@ -616,16 +655,21 @@ func (rt *Runtime) interpret(worker int, tcb *TCB) (used int) {
 				continue
 			}
 			tcb.blioEffect = n.Effect
-			// Our clock hold transfers to the blio queue entry; the pool
-			// worker releases it after re-enqueueing the thread. A
-			// rejected push (Shutdown already closed the pool) must not
-			// leak that hold — account the thread as discarded.
+			// In the virtual domain the queued effect carries a
+			// deferred-completion ticket: a clock hold plus a reserved
+			// event sequence number, so pool workers finishing in host
+			// order still surface their resumes in submission order at the
+			// next epoch barrier. A rejected push (Shutdown already closed
+			// the pool) must not leak the ticket — discard cancels it.
+			if rt.vc != nil {
+				tcb.blioTicket = rt.vc.Defer()
+			}
 			rt.m.blioSubmit.Inc()
 			rt.m.blioDepth.Observe(int64(rt.blio.size()))
 			if !rt.blio.push(tcb) {
 				rt.discard(tcb)
 			}
-			return used
+			return used, false
 
 		case nil:
 			panic("core: nil trace node (thread resumed without a continuation?)")
@@ -640,8 +684,7 @@ func (rt *Runtime) interpret(worker int, tcb *TCB) (used int) {
 	rt.m.batchFull.Inc()
 	tcb.trace = tr
 	rt.enqueueLocal(worker, tcb)
-	rt.clock.Exit()
-	return used
+	return used, false
 }
 
 // runEffect performs a nonblocking effect, optionally trapping panics into
@@ -670,8 +713,16 @@ func (rt *Runtime) workerBlio() {
 		}
 		effect := tcb.blioEffect
 		tcb.blioEffect = nil
+		tk := tcb.blioTicket
+		tcb.blioTicket = nil
 		tcb.trace = rt.runEffect(effect)
-		rt.enqueue(tcb) // fresh hold for the re-queued thread
-		rt.clock.Exit() // release the hold transferred with the request
+		if tk != nil {
+			// Virtual domain: surface the completion through the ticket so
+			// the resume fires at the next epoch barrier in submission
+			// order, independent of which pool worker finished first.
+			tk.Complete(func() { rt.enqueue(tcb) })
+		} else {
+			rt.enqueue(tcb)
+		}
 	}
 }

@@ -24,13 +24,27 @@ type IO struct {
 	k  *kernel.Kernel
 	fs *kernel.FS
 	ep *kernel.Epoll
+
+	// immediate: the kernel runs on a virtual clock, so the epoll device
+	// dispatches readiness resumes synchronously — at the point the
+	// readiness arises or inside the clock's (when, seq)-ordered event
+	// batch — and no worker_epoll goroutine exists. This removes the one
+	// host-scheduled actor from virtual-time runs, which is what makes
+	// figure output reproducible at GOMAXPROCS>1.
+	immediate bool
 }
 
-// New starts an IO layer: it creates an epoll device on k and launches the
-// worker_epoll harvest loop. fs may be nil if no file I/O is used.
+// New starts an IO layer: it creates an epoll device on k and, in the
+// wall-clock domain, launches the worker_epoll harvest loop. fs may be
+// nil if no file I/O is used.
 func New(rt *core.Runtime, k *kernel.Kernel, fs *kernel.FS) *IO {
 	io := &IO{rt: rt, k: k, fs: fs, ep: k.NewEpoll()}
-	go io.workerEpoll()
+	if _, virtual := k.Clock().(*vclock.VirtualClock); virtual {
+		io.immediate = true
+		io.ep.SetImmediate()
+	} else {
+		go io.workerEpoll()
+	}
 	return io
 }
 
@@ -100,6 +114,22 @@ func throwResult[A any](r result[A]) core.M[A] {
 // EpollWait blocks the thread until fd is ready for one of the events in
 // mask, returning the events that fired (the paper's sys_epoll_wait).
 func (io *IO) EpollWait(fd kernel.FD, mask kernel.Event) core.M[kernel.Event] {
+	if io.immediate {
+		// Immediate-mode epoll invokes the registered func(Event)
+		// synchronously at readiness; the resume enqueues the thread
+		// directly (no harvest batch exists to stage into).
+		return core.Bind(
+			core.SuspendB(func(resume func(result[kernel.Event], *core.Batch)) {
+				err := io.ep.Register(fd, mask, func(ev kernel.Event) {
+					resume(result[kernel.Event]{val: ev}, nil)
+				})
+				if err != nil {
+					resume(result[kernel.Event]{err: err}, nil)
+				}
+			}),
+			throwResult,
+		)
+	}
 	return core.Bind(
 		core.SuspendB(func(resume func(result[kernel.Event], *core.Batch)) {
 			err := io.ep.Register(fd, mask, func(ev kernel.Event, b *core.Batch) {

@@ -225,14 +225,39 @@ func (s *Server) ListenAndServe(addr string) core.M[core.Unit] {
 		backlog = s.ovl.cfg.Backlog
 	}
 	return core.Bind(s.io.Listen(addr, backlog), func(lfd kernel.FD) core.M[core.Unit] {
-		if s.ovl != nil {
-			s.ovl.mu.Lock()
-			s.ovl.lfd = lfd
-			s.ovl.haveLFD = true
-			s.ovl.mu.Unlock()
-		}
-		return s.AcceptLoop(lfd)
+		return s.serveListener(lfd)
 	})
+}
+
+// BindAndServe binds addr synchronously and returns the serving program
+// to spawn. Unlike ListenAndServe — which binds inside the spawned
+// thread — the listener exists before this returns, so a harness may
+// start client threads on other workers without racing the bind: their
+// connects queue in the kernel backlog until the accept loop runs. With
+// ListenAndServe under parallel workers, a client thread scheduled ahead
+// of the server thread finds no listener and every connect is refused.
+func (s *Server) BindAndServe(addr string) (core.M[core.Unit], error) {
+	backlog := 1024
+	if s.ovl != nil && s.ovl.cfg.Backlog > 0 {
+		backlog = s.ovl.cfg.Backlog
+	}
+	lfd, err := s.io.Kernel().Listen(addr, backlog)
+	if err != nil {
+		return nil, err
+	}
+	return s.serveListener(lfd), nil
+}
+
+// serveListener records the listener for overload drain and returns the
+// accept loop.
+func (s *Server) serveListener(lfd kernel.FD) core.M[core.Unit] {
+	if s.ovl != nil {
+		s.ovl.mu.Lock()
+		s.ovl.lfd = lfd
+		s.ovl.haveLFD = true
+		s.ovl.mu.Unlock()
+	}
+	return s.AcceptLoop(lfd)
 }
 
 // AcceptLoop accepts connections forever, forking a handler thread per

@@ -42,7 +42,8 @@ type watch struct {
 func (w *watch) claim() bool { return w.dead.CompareAndSwap(false, true) }
 
 // Epoll is an epoll instance: a queue of ready events harvested by an
-// event loop (the paper's worker_epoll, Figure 16).
+// event loop (the paper's worker_epoll, Figure 16), or — in immediate
+// mode — dispatched synchronously at the point of readiness.
 type Epoll struct {
 	k       *Kernel
 	mu      sync.Mutex
@@ -50,6 +51,16 @@ type Epoll struct {
 	ready   []ReadyEvent
 	waiting int // waiters blocked in cond.Wait, for targeted signaling
 	closed  bool
+
+	// immediate switches delivery from the harvested queue to a
+	// synchronous callback: deliver invokes the watch's data (which must
+	// be a func(Event)) inline instead of queueing a ReadyEvent for Wait.
+	// Virtual-time runs use this so readiness resumes happen at a
+	// deterministic point in the instruction stream — either inside the
+	// thread action that caused the readiness or inside the clock's
+	// (when, seq)-ordered dispatch batch — with no harvest goroutine's
+	// host scheduling in between.
+	immediate bool
 }
 
 // NewEpoll creates an epoll instance on the kernel.
@@ -58,6 +69,11 @@ func (k *Kernel) NewEpoll() *Epoll {
 	ep.cond = sync.NewCond(&ep.mu)
 	return ep
 }
+
+// SetImmediate switches the instance to immediate (synchronous) delivery.
+// Call before the first Register; watches registered afterwards must
+// carry a func(Event) as their data.
+func (ep *Epoll) SetImmediate() { ep.immediate = true }
 
 // Register subscribes for a one-shot readiness event on fd. If fd is
 // already ready for mask, the event is queued immediately. data rides
@@ -96,8 +112,16 @@ func (w *watch) fire(ev Event) {
 	ep.deliver(w, ev)
 }
 
-// deliver queues the (possibly delayed) event and wakes one waiter.
+// deliver hands the (possibly delayed) event over: synchronously in
+// immediate mode, else queued with one waiter woken.
 func (ep *Epoll) deliver(w *watch, ev Event) {
+	if ep.immediate {
+		ep.k.counters.wakeups.Add(1)
+		if fn, ok := w.data.(func(Event)); ok {
+			fn(ev)
+		}
+		return
+	}
 	// Every undelivered ready event holds the clock busy: in the virtual
 	// domain time must not advance past a wakeup that has been earned but
 	// not yet delivered to the scheduler.
@@ -258,6 +282,16 @@ func fireAll(watches []*watch, ev Event) {
 // instance. Watches with an injected readiness delay peel off onto clock
 // timers; the rest land in the ready queue in one deliverAll.
 func (ep *Epoll) fireBatch(ws []*watch, ev Event) {
+	if ep.immediate {
+		// Synchronous dispatch in list order; each watch still takes its
+		// latency draw (inside fire), so fault plans replay identically.
+		// Delayed watches peel onto clock timers and fire in (when, seq)
+		// order at their due timestamps.
+		for _, w := range ws {
+			w.fire(ev)
+		}
+		return
+	}
 	if len(ws) == 1 {
 		ws[0].fire(ev)
 		return

@@ -1,9 +1,12 @@
 package kernel
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
+
+	"hybrid/internal/vclock"
 )
 
 // ---------------------------------------------------------------------------
@@ -88,6 +91,91 @@ func TestEpollTargetedSignalNoThunderingHerd(t *testing.T) {
 	}
 	if n := k.Snapshot().SpuriousWakeups; n != 0 {
 		t.Fatalf("spurious wakeups = %d, want 0 (thundering herd)", n)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Batched delivery order under parallel workers
+// ---------------------------------------------------------------------------
+
+// Immediate-mode epoll with delayed deliveries must surface events in
+// (when, seq) order regardless of host parallelism. Sixty-four watches
+// become ready via clock timers, four sharing each virtual timestamp;
+// the clock's epoch barrier pops each timestamp's batch and fans it out
+// in seq (registration) order, and immediate delivery records inline. A
+// squad of goroutines hammers Enter/Exit at GOMAXPROCS=4 the whole time,
+// so the advance loop is repeatedly preempted mid-epoch and resumed from
+// a different goroutine — the recorded order must not care.
+func TestEpollImmediateDeliveryPreservesEventOrder(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	clk := vclock.NewVirtual()
+	k := New(clk)
+	ep := k.NewEpoll()
+	ep.SetImmediate()
+
+	const events = 64
+	type pipePair struct{ r, w FD }
+	pipes := make([]pipePair, events)
+	var mu sync.Mutex
+	var got []int
+	for i := range pipes {
+		r, w := k.NewPipe(64)
+		pipes[i] = pipePair{r, w}
+		i := i
+		if err := ep.Register(r, EventRead, func(Event) {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				clk.Enter()
+				runtime.Gosched()
+				clk.Exit()
+			}
+		}()
+	}
+
+	// Register all timers under one hold so (when, seq) is fixed by this
+	// loop alone; releasing the hold lets the epoch barrier start popping.
+	clk.Enter()
+	for i := 0; i < events; i++ {
+		d := time.Duration(i/4+1) * time.Millisecond
+		i := i
+		clk.After(d, func() {
+			if _, err := k.Write(pipes[i].w, []byte("x")); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	clk.Exit()
+
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == events
+	})
+	close(stop)
+	churn.Wait()
+
+	for i, g := range got {
+		if g != i {
+			t.Fatalf("delivery order diverged at position %d: got watch %d (full order %v)", i, g, got)
+		}
 	}
 }
 

@@ -10,14 +10,39 @@
 // every runnable activity in the system has quiesced, which makes the
 // I/O-bound experiments deterministic and host-independent.
 //
-// Ownership discipline: the clock maintains a "busy" count of runnable
-// activities. Time may only advance when busy == 0. Any component that
-// hands work to another component transfers ownership of a busy hold:
-// the sender calls Enter before publishing the work and the receiver calls
-// Exit once the work has either completed or been re-registered (for
-// example as a pending device event). Event callbacks scheduled with After
-// run while the clock holds busy on their behalf, so a callback that wakes
-// a thread can safely transfer that hold to the thread it wakes.
+// # Ownership discipline
+//
+// The clock maintains a count of shared holds ("runnable activities").
+// Time may only advance when the count is zero AND every registered
+// quiescer agrees the system is idle. Any component that hands work to
+// another component transfers ownership of a hold: the sender calls Enter
+// before publishing the work and the receiver calls Exit once the work has
+// either completed or been re-registered (for example as a pending device
+// event).
+//
+// # Conservative parallel advancement
+//
+// This is a conservative parallel discrete-event clock. Scheduler workers
+// do not touch the clock at all on their dispatch hot path; instead the
+// scheduler's ready queue registers a quiescer (RegisterQuiescer) that
+// reports, from per-worker cache-line-padded park flags, whether every
+// worker has drained its runnable threads. Advancement is a two-phase
+// epoch barrier:
+//
+//  1. Rendezvous: workers drain runnable work within the current
+//     timestamp. When a worker runs dry it parks and pokes Advance. Time
+//     can move only when the hold count is zero and all quiescers report
+//     idle — so no Enter can race the advance (Enter and the advance loop
+//     serialize on the clock mutex, and once Enter returns, Now is frozen
+//     until the matching Exit).
+//  2. Dispatch: one coordinator (whichever goroutine observed quiescence)
+//     pops the entire batch of events sharing the minimum timestamp from
+//     the merged timer heap and fires them in deterministic (when, seq)
+//     order. While the batch fires, the dispatch gate is closed: workers
+//     woken by the batch's enqueues wait on the gate (Gate) rather than
+//     popping mid-batch, so the work fanned out by one timestamp is fully
+//     staged before any worker consumes it. The gate then opens and the
+//     workers drain the new timestamp in parallel.
 package vclock
 
 import (
@@ -49,10 +74,10 @@ type Clock interface {
 	// clock, the call that drops the count to zero advances time to the
 	// next pending event and runs its callbacks.
 	Exit()
-	// After schedules fn to run d from now. The callback runs with a busy
-	// hold on its behalf; if it hands work onward it must transfer that
-	// hold (Enter before publishing) because the hold is released when fn
-	// returns.
+	// After schedules fn to run d from now. The callback runs during a
+	// dispatch batch while the gate is closed; if it hands work onward to
+	// an activity that outlives the callback it must transfer a hold
+	// (Enter before publishing).
 	After(d Duration, fn func()) *Timer
 }
 
@@ -76,7 +101,14 @@ func (t *Timer) Stop() bool {
 	case *VirtualClock:
 		return o.stopTimer(t)
 	case *realTimer:
-		return o.t.Stop()
+		if o.stopped {
+			return false
+		}
+		if o.t.Stop() {
+			o.stopped = true
+			return true
+		}
+		return false
 	}
 	return false
 }
@@ -87,7 +119,10 @@ type timerOwner interface{ isTimerOwner() }
 
 func (*VirtualClock) isTimerOwner() {}
 
-type realTimer struct{ t *time.Timer }
+type realTimer struct {
+	t       *time.Timer
+	stopped bool
+}
 
 func (*realTimer) isTimerOwner() {}
 
@@ -95,56 +130,85 @@ func (*realTimer) isTimerOwner() {}
 // Virtual clock
 // ---------------------------------------------------------------------------
 
-// VirtualClock is a discrete-event simulation clock. Time advances in
-// jumps to the next scheduled event, and only when the busy count is zero.
+// VirtualClock is a conservative parallel discrete-event clock. Time
+// advances in jumps to the next scheduled timestamp, and only at an epoch
+// barrier: the shared hold count is zero and every registered quiescer
+// reports idle. All events sharing the minimum timestamp fire as one
+// batch in (when, seq) order behind a closed dispatch gate.
 //
-// The busy count and current time live on atomics so Enter/Exit — called
-// once per queued thread, per delivered event, per syscall retry — never
-// contend on the heap lock. Under the ownership discipline above, Enter is
-// only ever called by an activity that itself holds a busy count (work is
-// handed off, never conjured), so an atomic increment cannot race a
-// concurrent advance: while anyone could call Enter, busy was already
-// nonzero and the advance loop was not running. Only the 0-transition in
-// Exit takes the lock, to walk the event heap.
+// All hold-count mutation happens under mu, which closes the race the old
+// lock-free design had: an Exit 0-transition could begin advancing while
+// a concurrent hand-off Enter was in flight, so time moved under a held
+// Enter. Here the advance loop and Enter serialize on mu — once Enter
+// returns, Now cannot change until the matching Exit.
 type VirtualClock struct {
-	busy atomic.Int64
-	now  atomic.Int64 // written under mu; read lock-free
+	now atomic.Int64 // written under mu; read lock-free
 
-	mu      sync.Mutex
-	seq     uint64
-	events  eventHeap
-	running bool // an advance loop is executing callbacks
+	mu        sync.Mutex
+	shared    int64 // hold count (Enter/Exit, Defer tickets)
+	seq       uint64
+	events    eventHeap
+	running   bool // a dispatch loop is executing batches
+	quiescers []func() bool
+	batchBuf  []*Timer
+
+	// Dispatch gate: closed while a batch of same-timestamp events is
+	// firing, so workers woken mid-batch stage behind Gate instead of
+	// consuming a half-fanned-out timestamp.
+	gateClosed atomic.Bool
+	gateMu     sync.Mutex
+	gateCond   *sync.Cond
 
 	// OnIdle, if non-nil, is invoked (with the clock unlocked) when the
-	// busy count reaches zero and no events are pending. This usually
+	// system is quiescent and no events are pending. This usually
 	// indicates deadlock in a simulation and is invaluable in tests.
 	OnIdle func()
 }
 
 // NewVirtual returns a virtual clock at time zero.
-func NewVirtual() *VirtualClock { return &VirtualClock{} }
+func NewVirtual() *VirtualClock {
+	c := &VirtualClock{}
+	c.gateCond = sync.NewCond(&c.gateMu)
+	return c
+}
 
 // Now reports the current virtual time.
 func (c *VirtualClock) Now() Time { return Time(c.now.Load()) }
 
-// Enter increments the busy count.
-func (c *VirtualClock) Enter() { c.busy.Add(1) }
-
-// Exit decrements the busy count and, if it reaches zero, advances time.
-func (c *VirtualClock) Exit() {
-	n := c.busy.Add(-1)
-	if n < 0 {
-		panic("vclock: Exit without matching Enter")
-	}
-	if n == 0 {
-		c.mu.Lock()
-		c.advanceLocked()
-		c.mu.Unlock()
-	}
+// Enter increments the hold count. Once Enter returns, Now is frozen
+// until the matching Exit.
+func (c *VirtualClock) Enter() {
+	c.mu.Lock()
+	c.shared++
+	c.mu.Unlock()
 }
 
-// After schedules fn to run at Now()+d. The callback runs with a busy
-// hold taken on its behalf.
+// Exit decrements the hold count and, on the 0-transition, attempts an
+// epoch advance.
+func (c *VirtualClock) Exit() {
+	c.mu.Lock()
+	if c.shared <= 0 {
+		c.mu.Unlock()
+		panic("vclock: Exit without matching Enter")
+	}
+	c.shared--
+	if c.shared == 0 {
+		c.maybeAdvanceLocked()
+	}
+	c.mu.Unlock()
+}
+
+// RegisterQuiescer adds a predicate consulted before any time advance:
+// the clock is quiescent only when the hold count is zero and every
+// quiescer returns true. The scheduler's ready queue registers one that
+// reports whether all workers are parked with no queued threads.
+func (c *VirtualClock) RegisterQuiescer(fn func() bool) {
+	c.mu.Lock()
+	c.quiescers = append(c.quiescers, fn)
+	c.mu.Unlock()
+}
+
+// After schedules fn to run at Now()+d in (when, seq) order.
 func (c *VirtualClock) After(d Duration, fn func()) *Timer {
 	if d < 0 {
 		d = 0
@@ -153,11 +217,50 @@ func (c *VirtualClock) After(d Duration, fn func()) *Timer {
 	c.seq++
 	t := &Timer{owner: c, when: Time(c.now.Load()) + Time(d), seq: c.seq, fn: fn, index: -1}
 	heap.Push(&c.events, t)
-	// If the system is already quiescent, this event is immediately due
-	// to advance.
-	c.advanceLocked()
+	// If the system is already quiescent, this event is immediately due.
+	c.maybeAdvanceLocked()
 	c.mu.Unlock()
 	return t
+}
+
+// Advance attempts an epoch advance if the system is quiescent. Workers
+// call it (via the ready queue's idle hook) after draining their run
+// queues; it returns without effect when holds are outstanding, another
+// dispatch loop is running, or any quiescer reports activity.
+func (c *VirtualClock) Advance() {
+	c.mu.Lock()
+	c.maybeAdvanceLocked()
+	c.mu.Unlock()
+}
+
+// Gate blocks while a dispatch batch is firing. Queue pop loops call it
+// before consuming work so a timestamp's events are fully fanned out
+// before any worker starts on them. The fast path is one atomic load.
+func (c *VirtualClock) Gate() {
+	if !c.gateClosed.Load() {
+		return
+	}
+	c.gateMu.Lock()
+	for c.gateClosed.Load() {
+		c.gateCond.Wait()
+	}
+	c.gateMu.Unlock()
+}
+
+// GateClosed reports whether a dispatch batch is currently firing.
+func (c *VirtualClock) GateClosed() bool { return c.gateClosed.Load() }
+
+func (c *VirtualClock) closeGate() {
+	c.gateMu.Lock()
+	c.gateClosed.Store(true)
+	c.gateMu.Unlock()
+}
+
+func (c *VirtualClock) openGate() {
+	c.gateMu.Lock()
+	c.gateClosed.Store(false)
+	c.gateCond.Broadcast()
+	c.gateMu.Unlock()
 }
 
 func (c *VirtualClock) stopTimer(t *Timer) bool {
@@ -168,38 +271,75 @@ func (c *VirtualClock) stopTimer(t *Timer) bool {
 	}
 	heap.Remove(&c.events, t.index)
 	t.stopped = true
+	t.fn = nil // release captured TCBs/buffers immediately
 	return true
 }
 
-// advanceLocked runs due events while the system is quiescent. Called
-// with c.mu held; temporarily unlocks around callbacks.
-func (c *VirtualClock) advanceLocked() {
+// quiescentLocked reports whether every registered quiescer agrees the
+// system is idle. Called with c.mu held; quiescers may take their own
+// locks (the ready queue's), never the clock's.
+func (c *VirtualClock) quiescentLocked() bool {
+	for _, q := range c.quiescers {
+		if !q() {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeAdvanceLocked is the epoch barrier's second phase. Called with
+// c.mu held; temporarily unlocks around callbacks and OnIdle.
+//
+// Each loop iteration: verify quiescence (hold count zero, all quiescers
+// idle), advance now to the minimum pending timestamp, pop the entire
+// batch of events at that timestamp, close the dispatch gate, and fire
+// the batch in (when, seq) order. Workers woken by the batch's enqueues
+// stage behind the gate until the whole batch has fired. The loop then
+// re-checks: if the batch handed work to workers or took holds,
+// advancement stops until the system re-quiesces.
+func (c *VirtualClock) maybeAdvanceLocked() {
 	if c.running {
-		// A callback is already being dispatched higher in the stack;
-		// it will observe any new state when it finishes.
+		// A dispatch loop is already executing higher in the stack or on
+		// another goroutine; it re-checks quiescence after every batch.
 		return
 	}
 	c.running = true
-	for c.busy.Load() == 0 && len(c.events) > 0 {
-		t := heap.Pop(&c.events).(*Timer)
-		if t.when > Time(c.now.Load()) {
-			c.now.Store(int64(t.when))
+	for c.shared == 0 && c.quiescentLocked() {
+		if len(c.events) == 0 {
+			c.running = false
+			if c.OnIdle != nil {
+				fn := c.OnIdle
+				c.mu.Unlock()
+				fn()
+				c.mu.Lock()
+			}
+			return
 		}
-		// Run the callback with a busy hold on its behalf so nested
-		// Exit calls cannot re-enter the advance loop concurrently.
-		c.busy.Add(1)
+		minWhen := c.events[0].when
+		if int64(minWhen) > c.now.Load() {
+			c.now.Store(int64(minWhen))
+		}
+		batch := c.batchBuf[:0]
+		for len(c.events) > 0 && c.events[0].when == minWhen {
+			batch = append(batch, heap.Pop(&c.events).(*Timer))
+		}
+		c.closeGate()
 		c.mu.Unlock()
-		t.fn()
+		for _, t := range batch {
+			fn := t.fn
+			t.fn = nil // fired: drop the closure so dead entries hold nothing
+			if fn != nil {
+				fn()
+			}
+		}
 		c.mu.Lock()
-		c.busy.Add(-1)
+		for i := range batch {
+			batch[i] = nil
+		}
+		c.batchBuf = batch[:0]
+		c.openGate()
 	}
 	c.running = false
-	if c.busy.Load() == 0 && len(c.events) == 0 && c.OnIdle != nil {
-		fn := c.OnIdle
-		c.mu.Unlock()
-		fn()
-		c.mu.Lock()
-	}
 }
 
 // Pending reports the number of scheduled, unfired events. Intended for
@@ -210,8 +350,82 @@ func (c *VirtualClock) Pending() int {
 	return len(c.events)
 }
 
-// Busy reports the current busy count. Intended for tests.
-func (c *VirtualClock) Busy() int64 { return c.busy.Load() }
+// Busy reports the current hold count. Intended for tests.
+func (c *VirtualClock) Busy() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shared
+}
+
+// ---------------------------------------------------------------------------
+// Deferred completion tickets
+// ---------------------------------------------------------------------------
+
+// Pending is a deferred-completion ticket: a hold on the clock plus a
+// reserved position in the event order. Work submitted to a real thread
+// pool (the blio workers) completes in host-scheduler order; tickets make
+// the *visible* completion order deterministic by firing every ticket's
+// callback at the next quiescence in submission-sequence order, no matter
+// which pool worker finished first.
+type Pending struct {
+	c    *VirtualClock
+	seq  uint64
+	done bool
+}
+
+// Defer takes a hold and reserves the next sequence number.
+func (c *VirtualClock) Defer() *Pending {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shared++
+	c.seq++
+	return &Pending{c: c, seq: c.seq}
+}
+
+// Complete schedules fn at the current timestamp under the ticket's
+// reserved sequence number and releases the hold. fn fires at the next
+// epoch barrier, ordered among other completions by submission sequence.
+func (p *Pending) Complete(fn func()) {
+	c := p.c
+	c.mu.Lock()
+	if p.done {
+		c.mu.Unlock()
+		panic("vclock: Pending completed twice")
+	}
+	p.done = true
+	t := &Timer{owner: c, when: Time(c.now.Load()), seq: p.seq, fn: fn, index: -1}
+	heap.Push(&c.events, t)
+	if c.shared <= 0 {
+		c.mu.Unlock()
+		panic("vclock: Pending.Complete without hold")
+	}
+	c.shared--
+	if c.shared == 0 {
+		c.maybeAdvanceLocked()
+	}
+	c.mu.Unlock()
+}
+
+// Cancel releases the ticket's hold without scheduling anything. Used
+// when the submitted work is discarded (shutdown).
+func (p *Pending) Cancel() {
+	c := p.c
+	c.mu.Lock()
+	if p.done {
+		c.mu.Unlock()
+		return
+	}
+	p.done = true
+	if c.shared <= 0 {
+		c.mu.Unlock()
+		panic("vclock: Pending.Cancel without hold")
+	}
+	c.shared--
+	if c.shared == 0 {
+		c.maybeAdvanceLocked()
+	}
+	c.mu.Unlock()
+}
 
 // eventHeap is a min-heap ordered by (when, seq) so simultaneous events
 // fire in scheduling order, which keeps simulations deterministic.
