@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race race-smp determinism tier2 stress overload-stress fuzz-smoke bench bench-smoke profile
+.PHONY: tier1 build vet test race race-smp determinism tcp-conformance tier2 stress overload-stress fuzz-smoke bench bench-smoke profile
 
 # tier1 is the repository's gate: everything must build, vet clean, and
 # pass tests, with the race detector over the concurrency-heavy packages.
@@ -45,8 +45,20 @@ determinism:
 	GOMAXPROCS=4 $(GO) run ./cmd/fig19web -quick > det_fig19_a.tmp
 	GOMAXPROCS=4 $(GO) run ./cmd/fig19web -quick > det_fig19_b.tmp
 	cmp det_fig19_a.tmp det_fig19_b.tmp
-	rm -f det_fig17_a.tmp det_fig17_b.tmp det_fig19_a.tmp det_fig19_b.tmp
-	@echo "determinism: fig17/fig19 output byte-identical across GOMAXPROCS=4 runs"
+	GOMAXPROCS=4 $(GO) run ./cmd/fig20loss -quick > det_fig20_a.tmp
+	GOMAXPROCS=4 $(GO) run ./cmd/fig20loss -quick > det_fig20_b.tmp
+	cmp det_fig20_a.tmp det_fig20_b.tmp
+	rm -f det_fig17_a.tmp det_fig17_b.tmp det_fig19_a.tmp det_fig19_b.tmp \
+		det_fig20_a.tmp det_fig20_b.tmp
+	@echo "determinism: fig17/fig19/fig20 output byte-identical across GOMAXPROCS=4 runs"
+
+# tcp-conformance replays every packet-trace scenario against its
+# committed golden twice, under the race detector at GOMAXPROCS=4: the
+# traces are asserted byte-identical to the goldens, run-to-run, and
+# across real parallelism — any change to retransmission order, SACK
+# blocks, ACK generation, or cwnd arithmetic fails the leg with a diff.
+tcp-conformance:
+	GOMAXPROCS=4 $(GO) test -race -count=2 ./internal/tcp/tracecheck/
 
 # tier2 is the extended, non-gating suite (~30s): the randomized
 # scheduler stress tests under the race detector, the seeded overload
@@ -70,12 +82,15 @@ fuzz-smoke:
 	$(GO) test -run FuzzVecSliceBounds -fuzz FuzzVecSliceBounds -fuzztime 5s ./internal/iovec/
 	$(GO) test -run FuzzVectorWriterEquivalence -fuzz FuzzVectorWriterEquivalence -fuzztime 5s ./internal/httpd/
 	$(GO) test -run FuzzBufpoolRoundtrip -fuzz FuzzBufpoolRoundtrip -fuzztime 5s ./internal/bufpool/
+	$(GO) test -run FuzzSackRanges -fuzz FuzzSackRanges -fuzztime 5s ./internal/tcp/
+	$(GO) test -run FuzzSegmentRoundtrip -fuzz FuzzSegmentRoundtrip -fuzztime 5s ./internal/tcp/
 
 # bench is the reproducible performance harness: the quick Figure 17/19
-# configurations plus the hot-path Go microbenchmarks with -benchmem,
-# written as machine-readable rows to BENCH_fig17.json/BENCH_fig19.json
-# (BENCH_LABEL tags the rows; -append preserves the committed
-# trajectory — run `$(GO) run ./cmd/benchjson -h` for one-off layouts).
+# configurations, the full Figure 20 loss-recovery sweep, and the hot-path
+# Go microbenchmarks with -benchmem, written as machine-readable rows to
+# BENCH_fig17.json/BENCH_fig19.json/BENCH_fig20.json (BENCH_LABEL tags the
+# rows; -append preserves the committed trajectory — run
+# `$(GO) run ./cmd/benchjson -h` for one-off layouts).
 BENCH_LABEL ?= dev
 
 bench:

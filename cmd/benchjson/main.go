@@ -24,11 +24,12 @@ func main() {
 	label := flag.String("label", "dev", "trajectory label recorded on every row")
 	fig17Path := flag.String("fig17", "BENCH_fig17.json", "output file for Figure 17 rows")
 	fig19Path := flag.String("fig19", "BENCH_fig19.json", "output file for Figure 19 + micro rows")
+	fig20Path := flag.String("fig20", "BENCH_fig20.json", "output file for Figure 20 rows")
 	appendOut := flag.Bool("append", false, "append to the output files instead of truncating")
 	microOnly := flag.Bool("micro-only", false, "run only the Go microbenchmarks")
 	flag.Parse()
 
-	var fig17Rows, fig19Rows []bench.RunStats
+	var fig17Rows, fig19Rows, fig20Rows []bench.RunStats
 
 	if !*microOnly {
 		// Figure 17 (quick): disk head scheduling at three thread counts.
@@ -91,6 +92,24 @@ func main() {
 					system, p.Workers, p.VirtMBps, p.WallMS, p.WallMBps, p.Speedup)
 			}
 		}
+		// Figure 20: loss-recovery goodput. The full configuration, not the
+		// quick one — its virtual transfers cost milliseconds of wall time,
+		// and the committed rows are the figure's claim (SACK variants
+		// dominating plain Reno under loss), so they use the figure's scale.
+		// Unlike the fig17/fig19 rows there is no wall-clock column: every
+		// number is virtual, so regenerating the file with the same label
+		// must reproduce it byte-for-byte.
+		cfg20 := bench.DefaultFig20()
+		for _, pm := range cfg20.LossPermille {
+			for _, v := range bench.Fig20Variants {
+				mbps := bench.Fig20Cell(cfg20, v, pm)
+				fig20Rows = append(fig20Rows, bench.RunStats{
+					Figure: "fig20", System: v, Label: *label, X: pm, MBps: mbps,
+				})
+				fmt.Printf("fig20 %-11s loss=%.1f%% %7.4f MB/s (virtual)\n",
+					v, float64(pm)/10, mbps)
+			}
+		}
 	}
 
 	// Go microbenchmarks: the allocation trajectory of the hot paths.
@@ -102,6 +121,7 @@ func main() {
 
 	writeRows(*fig17Path, fig17Rows, *appendOut)
 	writeRows(*fig19Path, fig19Rows, *appendOut)
+	writeRows(*fig20Path, fig20Rows, *appendOut)
 }
 
 func writeRows(path string, rows []bench.RunStats, appendOut bool) {

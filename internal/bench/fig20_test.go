@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// TestFig20Deterministic: a cell is a pure function of its configuration —
+// two runs must agree to the last bit (the figure is a determinism gate).
+func TestFig20Deterministic(t *testing.T) {
+	cfg := Fig20Quick()
+	a := Fig20Cell(cfg, "sack-cubic", 50)
+	b := Fig20Cell(cfg, "sack-cubic", 50)
+	if a != b {
+		t.Fatalf("fig20 cell not reproducible: %v vs %v", a, b)
+	}
+}
+
+// TestFig20SackBeatsRenoUnderLoss pins the figure's claim at its highest
+// loss rate: both SACK variants strictly out-deliver the legacy Reno
+// machine at 5% loss.
+func TestFig20SackBeatsRenoUnderLoss(t *testing.T) {
+	cfg := Fig20Quick()
+	reno := Fig20Cell(cfg, "reno", 50)
+	for _, v := range []string{"sack-reno", "sack-cubic"} {
+		if g := Fig20Cell(cfg, v, 50); g <= reno {
+			t.Errorf("%s goodput %v not above reno's %v at 5%% loss", v, g, reno)
+		}
+	}
+}
+
+func TestFig20UnknownVariantPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fig20Cfg accepted an unknown variant")
+		}
+	}()
+	Fig20Cell(Fig20Quick(), "vegas", 0)
+}

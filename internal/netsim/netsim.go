@@ -54,12 +54,38 @@ func Ethernet100() LinkParams {
 // Handler receives a datagram delivered to a host.
 type Handler func(src string, payload []byte)
 
+// PathSpec shapes one *directed* host pair, layered on top of the sender's
+// egress link parameters. It exists for loss experiments that need
+// asymmetric conditions (drop the data direction, keep the ACK path clean)
+// and for exactly-replayable conformance traces: DropSeq names specific
+// packets by per-path transmission index, with no randomness involved.
+type PathSpec struct {
+	// LossProb is an extra independent drop probability for this
+	// direction, drawn from the network's seeded RNG.
+	LossProb float64
+	// DropSeq lists 0-based per-path packet indices to drop
+	// deterministically (every Send on the path counts, including ones
+	// already doomed by other loss sources).
+	DropSeq []uint64
+}
+
+// pathKey identifies a directed host pair.
+type pathKey struct{ src, dst string }
+
+// pathState is the live per-direction accounting for a PathSpec.
+type pathState struct {
+	spec    PathSpec
+	dropSet map[uint64]struct{}
+	count   uint64 // packets offered on this path so far
+}
+
 // Network is a set of hosts sharing a clock and a seeded RNG.
 type Network struct {
 	clock vclock.Clock
 	mu    sync.Mutex
 	hosts map[string]*Host
 	rng   *rand.Rand
+	paths map[pathKey]*pathState
 
 	// Stats
 	sent, delivered, dropped, duplicated uint64
@@ -87,6 +113,26 @@ func (n *Network) Clock() vclock.Clock { return n.clock }
 // dropped, duplicated, or delayed (reordered) beyond what the link
 // parameters already model. Call during setup, before traffic flows.
 func (n *Network) SetFaults(in *faults.Injector) { n.faults = in }
+
+// SetPath installs a per-direction spec for packets from src to dst.
+// Call during setup, before traffic flows; paths without a spec draw no
+// extra randomness, so adding one path leaves others' RNG streams (and
+// any existing experiment's byte-level output) untouched.
+func (n *Network) SetPath(src, dst string, spec PathSpec) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.paths == nil {
+		n.paths = make(map[pathKey]*pathState)
+	}
+	st := &pathState{spec: spec}
+	if len(spec.DropSeq) > 0 {
+		st.dropSet = make(map[uint64]struct{}, len(spec.DropSeq))
+		for _, i := range spec.DropSeq {
+			st.dropSet[i] = struct{}{}
+		}
+	}
+	n.paths[pathKey{src, dst}] = st
+}
 
 // Stats reports packet counters: sent, delivered, dropped, duplicated.
 func (n *Network) Stats() (sent, delivered, dropped, duplicated uint64) {
@@ -152,6 +198,16 @@ func (h *Host) Send(dst string, payload []byte) {
 	var jitter time.Duration
 	if reorder {
 		jitter = time.Duration(n.rng.Int63n(int64(4*h.link.Latency) + 1))
+	}
+	if st, ok := n.paths[pathKey{h.addr, dst}]; ok {
+		idx := st.count
+		st.count++
+		if st.spec.LossProb > 0 && n.rng.Float64() < st.spec.LossProb {
+			loss = true
+		}
+		if _, drop := st.dropSet[idx]; drop {
+			loss = true
+		}
 	}
 	n.mu.Unlock()
 

@@ -1,0 +1,233 @@
+package tcp
+
+import (
+	"math"
+
+	"hybrid/internal/vclock"
+)
+
+// CongestionController is the pluggable congestion-control policy behind a
+// connection's send window. The connection owns all loss *detection* —
+// duplicate-ACK counting, the SACK scoreboard, the retransmission timer —
+// and tells the controller what happened; the controller owns only the
+// cwnd/ssthresh arithmetic. All methods run under the stack lock.
+//
+// The contract mirrors the legacy inline code exactly, so the "reno"
+// implementation driven from the same call sites is byte-for-byte
+// indistinguishable from the pre-extraction stack:
+//
+//   - OnAck fires for every ACK that advances sndUna while the connection
+//     is not in recovery (the legacy stack had no recovery state, so for
+//     it that means every advancing ACK).
+//   - OnEnterRecovery fires at the third duplicate ACK, before the fast
+//     retransmit, with the flight size at that moment.
+//   - OnPartialAck and OnExitRecovery fire only on the NewReno/SACK
+//     recovery path (never for a legacy-configured connection).
+//   - OnRTO fires on every retransmission-timer expiry with the flight
+//     size at that moment.
+type CongestionController interface {
+	// Name identifies the algorithm ("reno", "cubic").
+	Name() string
+	// Cwnd is the current congestion window in bytes.
+	Cwnd() uint32
+	// Ssthresh is the slow-start threshold in bytes.
+	Ssthresh() uint32
+	// OnAck processes an ACK that advanced sndUna by acked bytes, outside
+	// recovery: grow the window (slow start below ssthresh, the
+	// algorithm's avoidance law above it).
+	OnAck(acked uint32, now vclock.Time)
+	// OnEnterRecovery responds to loss detected by duplicate ACKs, with
+	// flight bytes outstanding: cut ssthresh and set cwnd for the
+	// recovery episode.
+	OnEnterRecovery(flight uint32, now vclock.Time)
+	// OnPartialAck processes an ACK that advanced sndUna by acked bytes
+	// but left the recovery episode open (RFC 6582): deflate the window
+	// so retransmissions drain the queue without a burst.
+	OnPartialAck(acked uint32)
+	// OnExitRecovery ends a recovery episode: settle cwnd for the
+	// post-recovery steady state.
+	OnExitRecovery(now vclock.Time)
+	// OnRTO responds to a retransmission timeout with flight bytes
+	// outstanding: collapse to one segment and restart discovery.
+	OnRTO(flight uint32)
+}
+
+// newController builds the configured controller. Names are validated in
+// NewStack, so the default arm is unreachable from user code.
+func newController(name string, mss, initialCwnd uint32) CongestionController {
+	switch name {
+	case "", "reno":
+		return &renoCC{mss: mss, cwnd: initialCwnd, ssthresh: 1 << 30}
+	case "cubic":
+		return &cubicCC{mss: mss, cwnd: initialCwnd, ssthresh: 1 << 30}
+	}
+	panic("tcp: unknown congestion controller " + name)
+}
+
+// --- Reno (RFC 5681) ---------------------------------------------------------
+
+// renoCC is standard AIMD: slow start below ssthresh, one MSS per cwnd of
+// ACKs above it, multiplicative decrease on loss. The arithmetic is the
+// pre-extraction inline code verbatim — integer division and all — because
+// the legacy goldens pin it.
+type renoCC struct {
+	mss, cwnd, ssthresh uint32
+}
+
+func (r *renoCC) Name() string     { return "reno" }
+func (r *renoCC) Cwnd() uint32     { return r.cwnd }
+func (r *renoCC) Ssthresh() uint32 { return r.ssthresh }
+
+func (r *renoCC) OnAck(acked uint32, _ vclock.Time) {
+	if r.cwnd < r.ssthresh {
+		r.cwnd += r.mss // slow start
+	} else if r.cwnd > 0 {
+		r.cwnd += r.mss * r.mss / r.cwnd // congestion avoidance
+		if r.cwnd < r.mss {
+			r.cwnd = r.mss
+		}
+	}
+}
+
+// halfFlight is RFC 5681's multiplicative decrease: half the flight,
+// floored at two segments.
+func (r *renoCC) halfFlight(flight uint32) uint32 {
+	half := flight / 2
+	if half < 2*r.mss {
+		half = 2 * r.mss
+	}
+	return half
+}
+
+func (r *renoCC) OnEnterRecovery(flight uint32, _ vclock.Time) {
+	r.ssthresh = r.halfFlight(flight)
+	r.cwnd = r.ssthresh
+}
+
+func (r *renoCC) OnPartialAck(acked uint32) {
+	// RFC 6582 deflation: take out what the partial ACK drained, put one
+	// MSS back so the next hole's retransmission fits.
+	if acked >= r.cwnd {
+		r.cwnd = 0
+	} else {
+		r.cwnd -= acked
+	}
+	r.cwnd += r.mss
+	if r.cwnd < r.mss {
+		r.cwnd = r.mss
+	}
+}
+
+func (r *renoCC) OnExitRecovery(_ vclock.Time) { r.cwnd = r.ssthresh }
+
+func (r *renoCC) OnRTO(flight uint32) {
+	r.ssthresh = r.halfFlight(flight)
+	r.cwnd = r.mss
+}
+
+// --- CUBIC (RFC 8312) --------------------------------------------------------
+
+const (
+	cubicBeta = 0.7 // multiplicative decrease factor
+	cubicC    = 0.4 // scaling constant of the cubic growth function
+)
+
+// cubicCC grows the window as W(t) = C·(t−K)³ + Wmax, t counted in real
+// (here: virtual) seconds since the recovery that set Wmax — concave up to
+// the old maximum, convex probing beyond it — which makes growth depend on
+// time between losses rather than RTT. Windows in the growth law are in
+// MSS units (as in the RFC); cwnd itself stays in bytes.
+//
+// Deviation from RFC 8312, documented in DESIGN.md: the TCP-friendly
+// region (tracking an estimated Reno window, §4.2) is omitted because it
+// needs an RTT term the controller deliberately does not receive; in its
+// place the flat region near Wmax creeps by MSS/100 per ACK so the window
+// still probes. All arithmetic is float64, which Go evaluates identically
+// on every platform, so traces stay byte-reproducible.
+type cubicCC struct {
+	mss, cwnd, ssthresh uint32
+	wMax                float64 // window before the last decrease, MSS units
+	wLastMax            float64 // for fast convergence (RFC 8312 §4.6)
+	k                   float64 // seconds until W(t) regains wMax
+	epoch               vclock.Time
+	hasEpoch            bool
+}
+
+func (c *cubicCC) Name() string     { return "cubic" }
+func (c *cubicCC) Cwnd() uint32     { return c.cwnd }
+func (c *cubicCC) Ssthresh() uint32 { return c.ssthresh }
+
+func (c *cubicCC) OnAck(acked uint32, now vclock.Time) {
+	if c.cwnd < c.ssthresh {
+		c.cwnd += c.mss // slow start, same as Reno
+		return
+	}
+	mss := float64(c.mss)
+	w := float64(c.cwnd) / mss
+	if !c.hasEpoch {
+		// First congestion-avoidance ACK since the last loss (or ever):
+		// start the cubic epoch here.
+		c.hasEpoch = true
+		c.epoch = now
+		if c.wMax < w {
+			c.wMax = w // no decrease yet: probe convexly from the current window
+		}
+		c.k = math.Cbrt((c.wMax - w) / cubicC)
+	}
+	t := float64(now-c.epoch) / float64(1e9)
+	target := cubicC*(t-c.k)*(t-c.k)*(t-c.k) + c.wMax
+	if limit := 1.5 * w; target > limit {
+		target = limit // clamp the per-RTT burst (RFC 8312 §4.1's 1.5x rule)
+	}
+	if target > w {
+		c.cwnd += uint32((target - w) / w * mss)
+	} else {
+		c.cwnd += c.mss/100 + 1 // flat region near wMax: keep probing slowly
+	}
+}
+
+// decrease applies the multiplicative cut and fast convergence, shared by
+// the dupack and RTO paths.
+func (c *cubicCC) decrease() uint32 {
+	w := float64(c.cwnd) / float64(c.mss)
+	if w < c.wLastMax {
+		// Fast convergence: the window never regained its old peak, so
+		// release capacity to newer flows by remembering less than we had.
+		c.wLastMax = w
+		c.wMax = w * (1 + cubicBeta) / 2
+	} else {
+		c.wLastMax = w
+		c.wMax = w
+	}
+	c.hasEpoch = false
+	ss := uint32(float64(c.cwnd) * cubicBeta)
+	if ss < 2*c.mss {
+		ss = 2 * c.mss
+	}
+	return ss
+}
+
+func (c *cubicCC) OnEnterRecovery(_ uint32, _ vclock.Time) {
+	c.ssthresh = c.decrease()
+	c.cwnd = c.ssthresh
+}
+
+func (c *cubicCC) OnPartialAck(acked uint32) {
+	// Same deflation as NewReno: the cubic law resumes once recovery ends.
+	if acked >= c.cwnd {
+		c.cwnd = 0
+	} else {
+		c.cwnd -= acked
+	}
+	c.cwnd += c.mss
+	if c.cwnd < c.mss {
+		c.cwnd = c.mss
+	}
+}
+
+func (c *cubicCC) OnExitRecovery(_ vclock.Time) { c.cwnd = c.ssthresh }
+
+func (c *cubicCC) OnRTO(_ uint32) {
+	c.ssthresh = c.decrease()
+	c.cwnd = c.mss
+}

@@ -45,6 +45,12 @@ type rtxSeg struct {
 	payload       iovec.Vec
 	retransmitted bool
 	retries       int
+	// Scoreboard marks (SACK connections only). sacked: the peer reported
+	// this segment received, so it occupies no pipe and must not be
+	// retransmitted. rexInRec: already retransmitted during the current
+	// recovery episode (RFC 6675 retransmits each hole once per episode).
+	sacked   bool
+	rexInRec bool
 }
 
 func (r *rtxSeg) seqEnd() uint32 {
@@ -79,10 +85,21 @@ type Conn struct {
 	finSent   bool
 	finSeq    uint32
 
-	// Congestion control (RFC 5681).
-	cwnd     uint32
-	ssthresh uint32
-	dupAcks  int
+	// Congestion control: cwnd/ssthresh arithmetic lives in the
+	// controller; loss detection and recovery sequencing live here.
+	cc      CongestionController
+	dupAcks int
+	// Loss recovery (RFC 6582/6675; only entered when the stack is
+	// configured with SACK or NewReno — the legacy machine has no
+	// recovery state).
+	inRecovery bool
+	recover    uint32 // sndNxt when recovery began; full ACK past it ends the episode
+
+	// SACK (RFC 2018). sackOn is set when both SYNs carried FlagSACKOK;
+	// sacks is the receive-side record of out-of-order ranges reported on
+	// every outgoing ACK.
+	sackOn bool
+	sacks  sackRanges
 
 	// RTT estimation (RFC 6298, with Karn's algorithm).
 	srtt, rttvar time.Duration
@@ -160,9 +177,15 @@ func (c *Conn) sendSegLocked(flags Flags, payload iovec.Vec, track bool) {
 		Window:  c.rcvWindowLocked(),
 		Payload: payload,
 	}
-	if flags != FlagSYN { // everything after the first SYN acknowledges
+	// Everything after the first SYN acknowledges. (The first SYN may
+	// carry FlagSACKOK, so test for "bare SYN" by flag content, not
+	// equality.)
+	if flags&FlagSYN == 0 || flags&FlagACK != 0 {
 		seg.Flags |= FlagACK
 		seg.Ack = c.rcvNxt
+	}
+	if c.sackOn && seg.Flags&FlagACK != 0 {
+		seg.Sack = c.sacks.blocks()
 	}
 	if track {
 		c.rtx = append(c.rtx, rtxSeg{seq: c.sndNxt, flags: flags, payload: payload})
@@ -184,6 +207,7 @@ func (c *Conn) sendSegLocked(flags Flags, payload iovec.Vec, track bool) {
 	c.lastWndAdvertised = seg.Window
 	c.s.stats.SegsOut.Add(1)
 	c.s.stats.BytesOut.Add(uint64(payload.Len()))
+	c.s.traceLocked(seg, c.cc.Cwnd(), false)
 	c.s.sendSeg(c.key.remoteAddr, seg)
 }
 
@@ -238,23 +262,96 @@ func (c *Conn) flushDelackLocked() {
 // flightLocked is the amount of unacknowledged sequence space.
 func (c *Conn) flightLocked() uint32 { return c.sndNxt - c.sndUna }
 
+// recoveryEnabled reports whether this connection runs the RFC 6582/6675
+// recovery machine (as opposed to the legacy retransmit-and-halve one).
+// SACK implies it even when the peer did not grant SACK — the connection
+// then degrades to NewReno.
+func (c *Conn) recoveryEnabled() bool { return c.s.cfg.SACK || c.s.cfg.NewReno }
+
+// markSackedLocked folds a received SACK option into the scoreboard:
+// every tracked segment wholly inside a reported block is marked received.
+func (c *Conn) markSackedLocked(blocks []SackBlock) {
+	for _, b := range blocks {
+		if !seqLT(b.Start, b.End) {
+			continue
+		}
+		for i := range c.rtx {
+			r := &c.rtx[i]
+			if !r.sacked && seqGEQ(r.seq, b.Start) && seqLEQ(r.seqEnd(), b.End) {
+				r.sacked = true
+			}
+		}
+	}
+}
+
+// sackedBytesLocked is the sequence space the scoreboard knows has left
+// the network. Zero on non-SACK connections (no marks ever set).
+func (c *Conn) sackedBytesLocked() uint32 {
+	var n uint32
+	for i := range c.rtx {
+		if c.rtx[i].sacked {
+			n += c.rtx[i].seqEnd() - c.rtx[i].seq
+		}
+	}
+	return n
+}
+
+// clearScoreboardLocked forgets all SACK and per-episode marks.
+func (c *Conn) clearScoreboardLocked() {
+	for i := range c.rtx {
+		c.rtx[i].sacked = false
+		c.rtx[i].rexInRec = false
+	}
+}
+
+// sackRexmitLocked is the scoreboard-driven retransmission pump (RFC 6675
+// NextSeg, simplified): while the pipe — flight minus SACKed space — has
+// room under cwnd, retransmit the earliest hole not yet retransmitted this
+// episode. Holes are segments below `recover` that the scoreboard has not
+// marked; segments above `recover` were sent after the episode began and
+// are the RTO's problem if they too are lost.
+func (c *Conn) sackRexmitLocked() {
+	cwnd := c.cc.Cwnd()
+	pipe := c.flightLocked() - c.sackedBytesLocked()
+	for i := range c.rtx {
+		r := &c.rtx[i]
+		if r.sacked || r.rexInRec || seqGEQ(r.seq, c.recover) {
+			continue
+		}
+		size := r.seqEnd() - r.seq
+		if pipe+size > cwnd {
+			break
+		}
+		r.rexInRec = true
+		r.retransmitted = true
+		c.rttPending = false
+		c.s.stats.RecoveryRexmits.Add(1)
+		c.resendLocked(r)
+		pipe += size
+	}
+}
+
 // trySendLocked pumps queued user data (and a queued FIN) into segments,
 // respecting min(cwnd, peer window), and returns user wakeups to run.
 func (c *Conn) trySendLocked() (wakes []func()) {
 	mss := uint32(c.s.cfg.MSS)
 	for !c.sndBuf.Empty() {
-		wnd := c.cwnd
+		wnd := c.cc.Cwnd()
 		if c.sndWnd < wnd {
 			wnd = c.sndWnd
 		}
 		flight := c.flightLocked()
-		if flight >= wnd {
+		// Pipe accounting (RFC 6675): SACKed sequence space has left the
+		// network, so it does not count against the window. Zero for
+		// non-SACK connections.
+		outstanding := flight - c.sackedBytesLocked()
+		if outstanding >= wnd {
 			if c.sndWnd == 0 && flight == 0 {
 				c.armPersistLocked()
 			}
 			break
 		}
-		n := wnd - flight
+		n := wnd - outstanding
 		if n > mss {
 			n = mss
 		}
@@ -345,14 +442,13 @@ func (c *Conn) onRTOLocked() (wakes []func()) {
 	r.retransmitted = true
 	c.rttPending = false // Karn: no sample across a retransmission
 	c.s.stats.Retransmits.Add(1)
+	// Reneging safety (RFC 2018 §8): on timeout, forget everything the
+	// scoreboard learned and abandon any open recovery episode — the
+	// retransmission below must not be suppressed by stale SACK marks.
+	c.clearScoreboardLocked()
+	c.inRecovery = false
 	// RFC 5681 congestion response to loss.
-	flight := c.flightLocked()
-	half := flight / 2
-	if half < 2*uint32(c.s.cfg.MSS) {
-		half = 2 * uint32(c.s.cfg.MSS)
-	}
-	c.ssthresh = half
-	c.cwnd = uint32(c.s.cfg.MSS)
+	c.cc.OnRTO(c.flightLocked())
 	c.dupAcks = 0
 	c.rto *= 2
 	if c.rto > c.s.cfg.RTOMax {
@@ -373,11 +469,15 @@ func (c *Conn) resendLocked(r *rtxSeg) {
 		Window:  c.rcvWindowLocked(),
 		Payload: r.payload,
 	}
-	if r.flags != FlagSYN {
+	if r.flags&FlagSYN == 0 || r.flags&FlagACK != 0 {
 		seg.Flags |= FlagACK
 		seg.Ack = c.rcvNxt
 	}
+	if c.sackOn && seg.Flags&FlagACK != 0 {
+		seg.Sack = c.sacks.blocks()
+	}
 	c.s.stats.SegsOut.Add(1)
+	c.s.traceLocked(seg, c.cc.Cwnd(), true)
 	c.s.sendSeg(c.key.remoteAddr, seg)
 }
 
@@ -489,6 +589,9 @@ func (c *Conn) processLocked(seg *Segment) (wakes []func()) {
 			}
 			c.irs = seg.Seq
 			c.rcvNxt = seg.Seq + 1
+			// SACK is on only when we asked on our SYN (cfg.SACK) and the
+			// peer granted it on the SYN-ACK (RFC 2018 §2).
+			c.sackOn = c.s.cfg.SACK && seg.Flags&FlagSACKOK != 0
 			c.state = StateEstablished
 			wakes = append(wakes, c.acceptAckLocked(seg)...)
 			c.sendAckLocked()
@@ -541,10 +644,15 @@ func (c *Conn) processLocked(seg *Segment) (wakes []func()) {
 // acceptAckLocked handles the ACK and window fields.
 func (c *Conn) acceptAckLocked(seg *Segment) (wakes []func()) {
 	ack := seg.Ack
+	// SACK blocks may ride on any ACK (duplicate or advancing): fold them
+	// into the scoreboard before acting on the cumulative field.
+	if c.sackOn && len(seg.Sack) > 0 {
+		c.markSackedLocked(seg.Sack)
+	}
 	switch {
 	case seqGT(ack, c.sndUna) && seqLEQ(ack, c.sndNxt):
+		acked := ack - c.sndUna
 		c.sndUna = ack
-		c.dupAcks = 0
 		// Drop fully acknowledged segments from the retransmission queue.
 		kept := c.rtx[:0]
 		sawRetransmit := false
@@ -565,15 +673,30 @@ func (c *Conn) acceptAckLocked(seg *Segment) (wakes []func()) {
 				c.updateRTTLocked(time.Duration(c.s.clock.Now() - c.rttStart))
 			}
 		}
-		// Congestion window growth.
-		mss := uint32(c.s.cfg.MSS)
-		if c.cwnd < c.ssthresh {
-			c.cwnd += mss // slow start
-		} else if c.cwnd > 0 {
-			c.cwnd += mss * mss / c.cwnd // congestion avoidance
-			if c.cwnd < mss {
-				c.cwnd = mss
+		// Congestion response. Inside a recovery episode an advancing ACK
+		// is either partial (the next hole is still missing: retransmit it
+		// now, deflate) or full (past `recover`: the episode ends); outside
+		// one — always, for the legacy machine — the window grows.
+		if c.inRecovery && seqLT(ack, c.recover) {
+			if c.sackOn {
+				c.sackRexmitLocked()
+			} else if len(c.rtx) > 0 {
+				r := &c.rtx[0]
+				r.retransmitted = true
+				c.rttPending = false
+				c.s.stats.RecoveryRexmits.Add(1)
+				c.resendLocked(r)
 			}
+			c.cc.OnPartialAck(acked)
+		} else {
+			if c.inRecovery {
+				c.inRecovery = false
+				c.clearScoreboardLocked()
+				c.cc.OnExitRecovery(c.s.clock.Now())
+			} else {
+				c.cc.OnAck(acked, c.s.clock.Now())
+			}
+			c.dupAcks = 0
 		}
 		if len(c.rtx) == 0 {
 			c.cancelRTOLocked()
@@ -599,18 +722,43 @@ func (c *Conn) acceptAckLocked(seg *Segment) (wakes []func()) {
 		// Duplicate ACK (RFC 5681 fast retransmit).
 		c.s.stats.DupAcksIn.Add(1)
 		c.dupAcks++
-		if c.dupAcks == 3 && len(c.rtx) > 0 {
-			c.s.stats.FastRetransmits.Add(1)
-			flight := c.flightLocked()
-			half := flight / 2
-			if half < 2*uint32(c.s.cfg.MSS) {
-				half = 2 * uint32(c.s.cfg.MSS)
+		switch {
+		case !c.recoveryEnabled():
+			// Legacy machine: retransmit-and-halve at the third dupack,
+			// no recovery episode (every subsequent advancing ACK grows
+			// the window again).
+			if c.dupAcks == 3 && len(c.rtx) > 0 {
+				c.s.stats.FastRetransmits.Add(1)
+				c.cc.OnEnterRecovery(c.flightLocked(), c.s.clock.Now())
+				c.rtx[0].retransmitted = true
+				c.rttPending = false
+				c.resendLocked(&c.rtx[0])
 			}
-			c.ssthresh = half
-			c.cwnd = c.ssthresh
-			c.rtx[0].retransmitted = true
+		case c.inRecovery:
+			// Further dupacks during recovery: with SACK they carry fresh
+			// scoreboard marks (folded in above), which may open pipe for
+			// the next hole.
+			if c.sackOn {
+				c.sackRexmitLocked()
+			}
+		case c.dupAcks == 3 && len(c.rtx) > 0:
+			// Enter recovery (RFC 6582/6675): remember where the flight
+			// ends so a full ACK can close the episode, cut the window,
+			// retransmit the first hole, and with SACK fill whatever pipe
+			// remains.
+			c.s.stats.FastRetransmits.Add(1)
+			c.s.stats.FastRecoveries.Add(1)
+			c.inRecovery = true
+			c.recover = c.sndNxt
+			c.cc.OnEnterRecovery(c.flightLocked(), c.s.clock.Now())
+			r := &c.rtx[0]
+			r.retransmitted = true
+			r.rexInRec = true
 			c.rttPending = false
-			c.resendLocked(&c.rtx[0])
+			c.resendLocked(r)
+			if c.sackOn {
+				c.sackRexmitLocked()
+			}
 		}
 	}
 	// Window update, from current ACKs only (a reordered old segment must
@@ -687,6 +835,11 @@ func (c *Conn) processDataLocked(seg *Segment) (wakes []func()) {
 			if _, dup := c.ooo[seq]; !dup {
 				c.ooo[seq] = payload
 			}
+			// Record the range for SACK only when the data is actually
+			// retained — never report sequence space we dropped.
+			if c.sackOn {
+				c.sacks.add(seq, seq+uint32(payload.Len()))
+			}
 		}
 	}
 
@@ -704,6 +857,10 @@ func (c *Conn) processDataLocked(seg *Segment) (wakes []func()) {
 		}
 	}
 
+	if c.sackOn && progressed {
+		// The cumulative ACK moved: drop ranges it swallowed.
+		c.sacks.trim(c.rcvNxt)
+	}
 	if progressed {
 		wakes = append(wakes, c.recvW...)
 		c.recvW = nil
@@ -901,6 +1058,7 @@ func (c *Conn) Abort() {
 		Seq: c.sndNxt, Ack: c.rcvNxt, Flags: FlagRST | FlagACK,
 	}
 	c.s.stats.RSTsOut.Add(1)
+	c.s.traceLocked(rst, c.cc.Cwnd(), false)
 	c.s.sendSeg(c.key.remoteAddr, rst)
 	wakes := c.teardownLocked(ErrClosed)
 	c.s.mu.Unlock()

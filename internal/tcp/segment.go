@@ -38,6 +38,10 @@ const (
 	FlagFIN
 	// FlagRST aborts the connection.
 	FlagRST
+	// FlagSACKOK on a SYN or SYN-ACK advertises RFC 2018 selective
+	// acknowledgment support (the "SACK-permitted" option); SACK blocks
+	// flow only when both SYNs carried it.
+	FlagSACKOK
 )
 
 func (f Flags) String() string {
@@ -54,11 +58,26 @@ func (f Flags) String() string {
 	if f&FlagRST != 0 {
 		s += "R"
 	}
+	if f&FlagSACKOK != 0 {
+		s += "K"
+	}
 	if s == "" {
 		return "."
 	}
 	return s
 }
+
+// SackBlock is one contiguous range of received sequence space,
+// [Start, End) in wraparound arithmetic, reported by the receiver above a
+// hole (RFC 2018).
+type SackBlock struct {
+	Start, End uint32
+}
+
+// maxSackBlocks caps the SACK blocks carried on a segment and retained by
+// a receiver, mirroring the real option's space limit (RFC 2018 §3: at
+// most 4 blocks without timestamps).
+const maxSackBlocks = 4
 
 // Segment is one TCP segment. Window is 32-bit where real TCP uses a
 // 16-bit field plus window scaling; carrying the scaled value directly is
@@ -71,6 +90,11 @@ type Segment struct {
 	Flags            Flags
 	Window           uint32
 	Payload          iovec.Vec
+	// Sack carries up to maxSackBlocks receiver-reported ranges above the
+	// cumulative Ack (RFC 2018). Empty on every segment unless both ends
+	// negotiated SACK; the wire encoding is byte-identical to the
+	// pre-SACK format when empty.
+	Sack []SackBlock
 }
 
 // headerSize is the encoded header length.
@@ -79,16 +103,30 @@ const headerSize = 2 + 2 + 4 + 4 + 1 + 4 + 4 + 4 // ports, seq, ack, flags, wind
 // ErrMalformed reports an undecodable or corrupt segment.
 var ErrMalformed = errors.New("tcp: malformed segment")
 
+// sackWireLen is the encoded size of a SACK option block: one count byte
+// plus two sequence numbers per block, or nothing when there are none.
+func sackWireLen(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return 1 + 8*n
+}
+
 // WireLen is the encoded length of the segment on the wire.
-func (s *Segment) WireLen() int { return headerSize + s.Payload.Len() }
+func (s *Segment) WireLen() int { return headerSize + s.Payload.Len() + sackWireLen(len(s.Sack)) }
 
 // EncodeTo serializes the segment with a checksum into buf, whose length
 // must be exactly WireLen. The payload vector is copied exactly once, into
 // the wire buffer — buf may come from bufpool and be reclaimed as soon as
-// the network layer has taken its own copy.
+// the network layer has taken its own copy. SACK blocks, when present,
+// trail the payload so every header offset (and the encoding of a
+// SACK-less segment) is unchanged from the pre-SACK wire format.
 func (s *Segment) EncodeTo(buf []byte) {
-	if len(buf) != headerSize+s.Payload.Len() {
+	if len(buf) != s.WireLen() {
 		panic("tcp: EncodeTo buffer length mismatch")
+	}
+	if len(s.Sack) > maxSackBlocks {
+		panic("tcp: too many SACK blocks")
 	}
 	binary.BigEndian.PutUint16(buf[0:], s.SrcPort)
 	binary.BigEndian.PutUint16(buf[2:], s.DstPort)
@@ -98,6 +136,14 @@ func (s *Segment) EncodeTo(buf []byte) {
 	binary.BigEndian.PutUint32(buf[13:], s.Window)
 	binary.BigEndian.PutUint32(buf[17:], uint32(s.Payload.Len()))
 	s.Payload.CopyTo(buf[headerSize:])
+	if n := len(s.Sack); n > 0 {
+		opt := buf[headerSize+s.Payload.Len():]
+		opt[0] = byte(n)
+		for i, b := range s.Sack {
+			binary.BigEndian.PutUint32(opt[1+8*i:], b.Start)
+			binary.BigEndian.PutUint32(opt[5+8*i:], b.End)
+		}
+	}
 	binary.BigEndian.PutUint32(buf[21:], checksum(buf))
 }
 
@@ -122,7 +168,7 @@ func Decode(buf []byte) (*Segment, error) {
 		return nil, fmt.Errorf("%w: bad checksum", ErrMalformed)
 	}
 	plen := binary.BigEndian.Uint32(buf[17:])
-	if int(plen) != len(buf)-headerSize {
+	if uint64(plen) > uint64(len(buf)-headerSize) {
 		return nil, fmt.Errorf("%w: length field %d vs %d", ErrMalformed, plen, len(buf)-headerSize)
 	}
 	s := &Segment{
@@ -134,7 +180,26 @@ func Decode(buf []byte) (*Segment, error) {
 		Window:  binary.BigEndian.Uint32(buf[13:]),
 	}
 	if plen > 0 {
-		s.Payload = iovec.FromBytes(buf[headerSize:])
+		s.Payload = iovec.FromBytes(buf[headerSize : headerSize+int(plen)])
+	}
+	// Anything after the payload is the SACK option block: a count byte
+	// then (start, end) pairs, each a nonempty range, at most
+	// maxSackBlocks of them — anything else is malformed.
+	if opt := buf[headerSize+int(plen):]; len(opt) > 0 {
+		n := int(opt[0])
+		if n == 0 || n > maxSackBlocks || len(opt) != sackWireLen(n) {
+			return nil, fmt.Errorf("%w: bad SACK option (%d bytes, count %d)", ErrMalformed, len(opt), n)
+		}
+		s.Sack = make([]SackBlock, n)
+		for i := range s.Sack {
+			s.Sack[i] = SackBlock{
+				Start: binary.BigEndian.Uint32(opt[1+8*i:]),
+				End:   binary.BigEndian.Uint32(opt[5+8*i:]),
+			}
+			if !seqLT(s.Sack[i].Start, s.Sack[i].End) {
+				return nil, fmt.Errorf("%w: empty SACK block", ErrMalformed)
+			}
+		}
 	}
 	return s, nil
 }

@@ -63,6 +63,25 @@ type Config struct {
 	// accepted-but-unclaimed; SYNs beyond it are dropped (the client
 	// retries, as under SYN-queue pressure on a real stack). Default 128.
 	Backlog int
+	// SACK enables RFC 2018 selective acknowledgments: advertised on the
+	// SYN, granted when both ends advertise it. A SACK connection reports
+	// received ranges above a hole on every ACK and recovers loss with a
+	// sender scoreboard (RFC 6675-style selective retransmission and pipe
+	// accounting); if the peer does not advertise SACK the connection
+	// falls back to NewReno recovery. Off by default: the legacy
+	// fast-retransmit/RTO machine runs byte-identically.
+	SACK bool
+	// NewReno enables RFC 6582 partial-ACK recovery without SACK: after a
+	// fast retransmit the sender stays in recovery until the entire
+	// pre-loss flight is acknowledged, retransmitting one hole per
+	// partial ACK instead of waiting out an RTO per hole. Implied (as the
+	// fallback) by SACK. Off by default.
+	NewReno bool
+	// Controller selects the congestion-control algorithm: "reno" (the
+	// default, RFC 5681 AIMD exactly as the pre-controller stack behaved)
+	// or "cubic" (RFC 8312-style cubic window growth). Unknown names
+	// panic in NewStack.
+	Controller string
 	// Faults, when non-nil, injects inbound-segment faults per its
 	// deterministic plan: tcp.drop discards a segment before the state
 	// machine sees it (as corruption would), tcp.reset forges an RST
@@ -120,6 +139,8 @@ type Stats struct {
 	SegsIn, SegsOut          uint64
 	Retransmits              uint64
 	FastRetransmits          uint64
+	FastRecoveries           uint64
+	RecoveryRexmits          uint64
 	RTOExpiries              uint64
 	ZeroWindowProbes         uint64
 	DupAcksIn                uint64
@@ -139,6 +160,8 @@ type tcpCounters struct {
 	SegsIn, SegsOut          atomic.Uint64
 	Retransmits              atomic.Uint64
 	FastRetransmits          atomic.Uint64
+	FastRecoveries           atomic.Uint64
+	RecoveryRexmits          atomic.Uint64
 	RTOExpiries              atomic.Uint64
 	ZeroWindowProbes         atomic.Uint64
 	DupAcksIn                atomic.Uint64
@@ -167,11 +190,52 @@ type Stack struct {
 
 	stats tcpCounters // atomics; not guarded by mu
 
+	trace func(TraceEvent) // observation tap; guarded by mu
+
 	metrics *stats.Registry
 }
 
-// NewStack attaches a TCP stack to a netsim host.
+// TraceEvent describes one segment leaving the stack, observed at the
+// moment of transmission with the sending connection's congestion state.
+// The conformance harness (internal/tcp/tracecheck) records these.
+type TraceEvent struct {
+	// Seg is the segment as built for the wire. The tap must not mutate
+	// it or retain its payload past the callback.
+	Seg *Segment
+	// Cwnd is the sender's congestion window at transmission time, 0 for
+	// segments with no connection (e.g. a listener-less RST).
+	Cwnd uint32
+	// Rexmit marks a retransmission (RTO, fast retransmit, or SACK
+	// scoreboard) as opposed to a first transmission.
+	Rexmit bool
+}
+
+// SetTrace installs fn as the stack's transmission tap; every outgoing
+// segment is reported before it is handed to the network. fn runs under
+// the stack lock: it must not call back into the stack. A nil fn removes
+// the tap. Tracing is for tests and conformance tooling; the figures
+// never enable it.
+func (s *Stack) SetTrace(fn func(TraceEvent)) {
+	s.mu.Lock()
+	s.trace = fn
+	s.mu.Unlock()
+}
+
+// traceLocked reports one outgoing segment to the tap, if installed.
+func (s *Stack) traceLocked(seg *Segment, cwnd uint32, rexmit bool) {
+	if s.trace != nil {
+		s.trace(TraceEvent{Seg: seg, Cwnd: cwnd, Rexmit: rexmit})
+	}
+}
+
+// NewStack attaches a TCP stack to a netsim host. It panics on an unknown
+// Config.Controller name (a static misconfiguration, caught at setup).
 func NewStack(host *netsim.Host, cfg Config) *Stack {
+	switch cfg.Controller {
+	case "", "reno", "cubic":
+	default:
+		panic("tcp: unknown congestion controller " + cfg.Controller)
+	}
 	s := &Stack{
 		cfg:       cfg.withDefaults(),
 		host:      host,
@@ -190,6 +254,8 @@ func NewStack(host *netsim.Host, cfg Config) *Stack {
 		{"segs_out", &s.stats.SegsOut},
 		{"retransmits", &s.stats.Retransmits},
 		{"fast_retransmits", &s.stats.FastRetransmits},
+		{"fast_recoveries", &s.stats.FastRecoveries},
+		{"recovery_rexmits", &s.stats.RecoveryRexmits},
 		{"rto_expiries", &s.stats.RTOExpiries},
 		{"zero_window_probes", &s.stats.ZeroWindowProbes},
 		{"dup_acks_in", &s.stats.DupAcksIn},
@@ -226,6 +292,8 @@ func (s *Stack) Snapshot() Stats {
 		SegsOut:          s.stats.SegsOut.Load(),
 		Retransmits:      s.stats.Retransmits.Load(),
 		FastRetransmits:  s.stats.FastRetransmits.Load(),
+		FastRecoveries:   s.stats.FastRecoveries.Load(),
+		RecoveryRexmits:  s.stats.RecoveryRexmits.Load(),
 		RTOExpiries:      s.stats.RTOExpiries.Load(),
 		ZeroWindowProbes: s.stats.ZeroWindowProbes.Load(),
 		DupAcksIn:        s.stats.DupAcksIn.Load(),
@@ -318,7 +386,14 @@ func (s *Stack) input(src string, data []byte) {
 			c.rcvNxt = seg.Seq + 1
 			c.sndWnd = seg.Window
 			c.listener = l
-			c.sendSegLocked(FlagSYN|FlagACK, iovec.Vec{}, true)
+			synack := FlagSYN | FlagACK
+			// Grant SACK only when we are configured for it and the
+			// client's SYN asked (RFC 2018 §2).
+			if s.cfg.SACK && seg.Flags&FlagSACKOK != 0 {
+				c.sackOn = true
+				synack |= FlagSACKOK
+			}
+			c.sendSegLocked(synack, iovec.Vec{}, true)
 			s.mu.Unlock()
 			return
 		}
@@ -330,6 +405,7 @@ func (s *Stack) input(src string, data []byte) {
 			SrcPort: seg.DstPort, DstPort: seg.SrcPort,
 			Seq: seg.Ack, Ack: seg.Seq + seg.seqLen(), Flags: FlagRST | FlagACK,
 		}
+		s.traceLocked(rst, 0, false)
 		s.mu.Unlock()
 		s.sendSeg(src, rst)
 		return
@@ -347,14 +423,13 @@ func runAll(fns []func()) {
 // newConnLocked creates and registers a connection.
 func (s *Stack) newConnLocked(key connKey, st State) *Conn {
 	c := &Conn{
-		s:        s,
-		key:      key,
-		state:    st,
-		iss:      s.issNext,
-		cwnd:     uint32(s.cfg.InitialCwnd * s.cfg.MSS),
-		ssthresh: 1 << 30,
-		rto:      s.cfg.InitialRTO,
-		ooo:      make(map[uint32]iovec.Vec),
+		s:     s,
+		key:   key,
+		state: st,
+		iss:   s.issNext,
+		cc:    newController(s.cfg.Controller, uint32(s.cfg.MSS), uint32(s.cfg.InitialCwnd*s.cfg.MSS)),
+		rto:   s.cfg.InitialRTO,
+		ooo:   make(map[uint32]iovec.Vec),
 	}
 	s.issNext += 64 * 1024 // deterministic, well-separated ISNs
 	c.sndUna = c.iss
@@ -384,7 +459,11 @@ func (s *Stack) Connect(addr string, port uint16) (*Conn, error) {
 		return nil, err
 	}
 	c := s.newConnLocked(connKey{lp, addr, port}, StateSynSent)
-	c.sendSegLocked(FlagSYN, iovec.Vec{}, true)
+	syn := FlagSYN
+	if s.cfg.SACK {
+		syn |= FlagSACKOK // advertise; granted if the SYN-ACK echoes it
+	}
+	c.sendSegLocked(syn, iovec.Vec{}, true)
 	s.mu.Unlock()
 	return c, nil
 }

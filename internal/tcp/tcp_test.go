@@ -574,7 +574,7 @@ func TestCongestionWindowGrows(t *testing.T) {
 	client, server := w.connectPair(t, 80)
 	transfer(t, w, client, server, 512*1024)
 	w.a.mu.Lock()
-	cwnd := client.cwnd
+	cwnd := client.cc.Cwnd()
 	w.a.mu.Unlock()
 	if cwnd <= uint32(2*1460) {
 		t.Fatalf("cwnd never grew: %d", cwnd)
