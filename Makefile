@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race race-smp determinism tcp-conformance tier2 stress overload-stress fuzz-smoke bench bench-smoke profile
+.PHONY: tier1 build vet test race race-smp determinism tcp-conformance tier2 stress overload-stress adversarial-smoke fuzz-smoke bench bench-smoke profile
 
 # tier1 is the repository's gate: everything must build, vet clean, and
 # pass tests, with the race detector over the concurrency-heavy packages.
@@ -48,9 +48,12 @@ determinism:
 	GOMAXPROCS=4 $(GO) run ./cmd/fig20loss -quick > det_fig20_a.tmp
 	GOMAXPROCS=4 $(GO) run ./cmd/fig20loss -quick > det_fig20_b.tmp
 	cmp det_fig20_a.tmp det_fig20_b.tmp
+	GOMAXPROCS=4 $(GO) run ./cmd/fig21adversarial -quick > det_fig21_a.tmp
+	GOMAXPROCS=4 $(GO) run ./cmd/fig21adversarial -quick > det_fig21_b.tmp
+	cmp det_fig21_a.tmp det_fig21_b.tmp
 	rm -f det_fig17_a.tmp det_fig17_b.tmp det_fig19_a.tmp det_fig19_b.tmp \
-		det_fig20_a.tmp det_fig20_b.tmp
-	@echo "determinism: fig17/fig19/fig20 output byte-identical across GOMAXPROCS=4 runs"
+		det_fig20_a.tmp det_fig20_b.tmp det_fig21_a.tmp det_fig21_b.tmp
+	@echo "determinism: fig17/fig19/fig20/fig21 output byte-identical across GOMAXPROCS=4 runs"
 
 # tcp-conformance replays every packet-trace scenario against its
 # committed golden twice, under the race detector at GOMAXPROCS=4: the
@@ -63,16 +66,22 @@ tcp-conformance:
 # tier2 is the extended, non-gating suite (~30s): the randomized
 # scheduler stress tests under the race detector, the seeded overload
 # smoke (a 4× load burst through admission control and the circuit
-# breaker, replayed for counter determinism), plus a short fuzz smoke
+# breaker, replayed for counter determinism), the seeded adversarial
+# smoke (a hostile fleet whose attack mode is drawn from the seed,
+# contesting a hardened slot-limited server against good clients,
+# replayed for shed/reap counter determinism), plus a short fuzz smoke
 # over every fuzz target. Failures print the seed to replay
-# (STRESS_SEED=<seed> make stress / make overload-stress).
-tier2: stress overload-stress fuzz-smoke
+# (STRESS_SEED=<seed> make stress / overload-stress / adversarial-smoke).
+tier2: stress overload-stress adversarial-smoke fuzz-smoke
 
 stress:
 	$(GO) test -race -run 'Stress' -count=1 ./internal/core/
 
 overload-stress:
 	$(GO) test -race -run 'StressOverload' -count=1 -v ./internal/httpd/
+
+adversarial-smoke:
+	$(GO) test -race -run 'StressAdversarial' -count=1 -v ./internal/loadgen/
 
 fuzz-smoke:
 	$(GO) test -run FuzzParseRequest -fuzz FuzzParseRequest -fuzztime 5s ./internal/httpd/
@@ -86,11 +95,12 @@ fuzz-smoke:
 	$(GO) test -run FuzzSegmentRoundtrip -fuzz FuzzSegmentRoundtrip -fuzztime 5s ./internal/tcp/
 
 # bench is the reproducible performance harness: the quick Figure 17/19
-# configurations, the full Figure 20 loss-recovery sweep, and the hot-path
-# Go microbenchmarks with -benchmem, written as machine-readable rows to
-# BENCH_fig17.json/BENCH_fig19.json/BENCH_fig20.json (BENCH_LABEL tags the
-# rows; -append preserves the committed trajectory — run
-# `$(GO) run ./cmd/benchjson -h` for one-off layouts).
+# configurations, the full Figure 20 loss-recovery sweep, the full
+# Figure 21 adversarial contest, and the hot-path Go microbenchmarks
+# with -benchmem, written as machine-readable rows to
+# BENCH_fig17.json/BENCH_fig19.json/BENCH_fig20.json/BENCH_fig21.json
+# (BENCH_LABEL tags the rows; -append preserves the committed
+# trajectory — run `$(GO) run ./cmd/benchjson -h` for one-off layouts).
 BENCH_LABEL ?= dev
 
 bench:

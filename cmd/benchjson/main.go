@@ -1,6 +1,7 @@
 // benchjson runs the repository's performance benchmarks and writes the
-// machine-readable trajectory files BENCH_fig17.json and BENCH_fig19.json
-// (one bench.RunStats object per run, concatenated). Each record carries
+// machine-readable trajectory files BENCH_fig17.json, BENCH_fig19.json,
+// BENCH_fig20.json, and BENCH_fig21.json (one bench.RunStats object per
+// run, concatenated). Each record carries
 // the deterministic virtual-time throughput plus the wall-clock side —
 // wall ms, wall MB/s, virtual-time p99, and for the microbenchmarks the
 // -benchmem triple (ns/op, B/op, allocs/op) — so later PRs can prove
@@ -25,11 +26,12 @@ func main() {
 	fig17Path := flag.String("fig17", "BENCH_fig17.json", "output file for Figure 17 rows")
 	fig19Path := flag.String("fig19", "BENCH_fig19.json", "output file for Figure 19 + micro rows")
 	fig20Path := flag.String("fig20", "BENCH_fig20.json", "output file for Figure 20 rows")
+	fig21Path := flag.String("fig21", "BENCH_fig21.json", "output file for Figure 21 rows")
 	appendOut := flag.Bool("append", false, "append to the output files instead of truncating")
 	microOnly := flag.Bool("micro-only", false, "run only the Go microbenchmarks")
 	flag.Parse()
 
-	var fig17Rows, fig19Rows, fig20Rows []bench.RunStats
+	var fig17Rows, fig19Rows, fig20Rows, fig21Rows []bench.RunStats
 
 	if !*microOnly {
 		// Figure 17 (quick): disk head scheduling at three thread counts.
@@ -110,6 +112,28 @@ func main() {
 					v, float64(pm)/10, mbps)
 			}
 		}
+		// Figure 21: good-client goodput under attack, defenses off vs on.
+		// Full configuration, all virtual (like fig20): the committed rows
+		// are the figure's claim — slot-pinning attacks collapse the
+		// undefended server while the lifecycle deadlines hold goodput at
+		// the baseline — and regenerating with the same label reproduces
+		// them byte-for-byte. X is the attacker count.
+		cfg21 := bench.DefaultFig21()
+		for _, mode := range bench.Fig21Modes {
+			for _, defended := range []bool{false, true} {
+				p := bench.Fig21Run(cfg21, mode, defended)
+				system := mode + "-off"
+				if defended {
+					system = mode + "-on"
+				}
+				fig21Rows = append(fig21Rows, bench.RunStats{
+					Figure: "fig21", System: system, Label: *label,
+					X: cfg21.Attackers, MBps: p.GoodputMBps, P99Us: p.P99Us,
+				})
+				fmt.Printf("fig21 %-14s %8.3f MB/s (virtual)  p99 %dus  sheds %d\n",
+					system, p.GoodputMBps, p.P99Us, p.Sheds.Total())
+			}
+		}
 	}
 
 	// Go microbenchmarks: the allocation trajectory of the hot paths.
@@ -122,6 +146,7 @@ func main() {
 	writeRows(*fig17Path, fig17Rows, *appendOut)
 	writeRows(*fig19Path, fig19Rows, *appendOut)
 	writeRows(*fig20Path, fig20Rows, *appendOut)
+	writeRows(*fig21Path, fig21Rows, *appendOut)
 }
 
 func writeRows(path string, rows []bench.RunStats, appendOut bool) {

@@ -2,6 +2,14 @@
 // launch millions of monadic threads and measure live heap per thread
 // after garbage collection. The paper runs ten million threads at 48
 // bytes each on a 2 GB machine; pass -threads to choose the scale.
+//
+// Pass -conns to additionally measure bytes per established server
+// connection — parked (idle keep-alive, handler waiting on the next
+// head with an armed timer-wheel deadline) versus active (blocked
+// mid-response against a peer that stopped reading) — the first
+// capacity measurement for the C10M target. Each figure covers the
+// whole simulated connection: both socket ring buffers plus the client
+// and handler threads.
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 func main() {
 	threads := flag.Int("threads", 1_000_000, "number of monadic threads to park")
 	sweep := flag.Bool("sweep", false, "sweep 10k/100k/1M/10M instead of a single point")
+	conns := flag.Int("conns", 0, "also measure bytes/connection for this many parked and active server connections")
 	flag.Parse()
 
 	counts := []int{*threads}
@@ -28,6 +37,14 @@ func main() {
 		p := bench.MemTest(n)
 		fmt.Printf("%-12d %16.1f %11.1f MB\n",
 			p.Threads, p.BytesPerThread, float64(p.TotalBytes)/(1<<20))
+	}
+	if *conns > 0 {
+		fmt.Println()
+		fmt.Println("Memory per established server connection (socket rings dominate:")
+		fmt.Println("2 x 64 KB per connection; threads and wheel timers are the remainder)")
+		p := bench.ConnMemTest(*conns)
+		fmt.Printf("%-12s %16s %16s\n", "conns", "parked B/conn", "active B/conn")
+		fmt.Printf("%-12d %16.1f %16.1f\n", p.Conns, p.ParkedBytesPerConn, p.ActiveBytesPerConn)
 	}
 	os.Exit(0)
 }

@@ -12,6 +12,7 @@ import (
 	"hybrid/internal/iovec"
 	"hybrid/internal/kernel"
 	"hybrid/internal/tcp"
+	"hybrid/internal/timerwheel"
 	"hybrid/internal/vclock"
 )
 
@@ -143,6 +144,38 @@ func BenchSpawnRecycle(b *testing.B) {
 	rt.WaitIdle()
 }
 
+// BenchTimerWheelRearm measures the per-ACK timer maintenance the TCP
+// sender performs on every acknowledgement: cancel the pending RTO and
+// arm a fresh one. The wheel is pre-loaded with 64k live deadlines — a
+// fleet of idle connections each holding a reap timer — so the op cost
+// is pinned at population, where a binary heap would pay O(log n) per
+// rearm and the wheel pays a pointer splice.
+func BenchTimerWheelRearm(b *testing.B) {
+	clk := vclock.NewVirtual()
+	clk.Enter() // Schedule/Stop require holding the clock; time stays frozen
+	defer clk.Exit()
+	w := timerwheel.New(clk)
+	nop := func() {}
+	const pending = 64 * 1024
+	for i := 0; i < pending; i++ {
+		// Spread the background deadlines across slots and levels the way
+		// a mixed idle/retransmit population does.
+		w.Schedule(vclock.Duration(10+i%4096)*1e6, nop)
+	}
+	rto := 200 * vclock.Duration(1e6)
+	t := w.Schedule(rto, nop)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Stop()
+		t = w.Schedule(rto+vclock.Duration(i%64)*1e6, nop)
+	}
+	b.StopTimer()
+	if got := w.Stats().Stopped; got < uint64(b.N) {
+		b.Fatalf("stopped %d timers, want >= %d", got, b.N)
+	}
+}
+
 // Micro is one microbenchmark with the name its test wrapper exports.
 type Micro struct {
 	Name string
@@ -156,6 +189,7 @@ func Micros() []Micro {
 		{"BenchmarkServeCached", BenchServeCached},
 		{"BenchmarkSegmentRoundtrip", BenchSegmentRoundtrip},
 		{"BenchmarkSpawnRecycle", BenchSpawnRecycle},
+		{"BenchmarkTimerWheelRearm", BenchTimerWheelRearm},
 	}
 }
 

@@ -8,3 +8,4 @@ import "testing"
 func BenchmarkServeCached(b *testing.B)      { BenchServeCached(b) }
 func BenchmarkSegmentRoundtrip(b *testing.B) { BenchSegmentRoundtrip(b) }
 func BenchmarkSpawnRecycle(b *testing.B)     { BenchSpawnRecycle(b) }
+func BenchmarkTimerWheelRearm(b *testing.B)  { BenchTimerWheelRearm(b) }

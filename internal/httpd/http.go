@@ -178,6 +178,21 @@ func (h *HeadBuffer) Buffered() int { return len(h.buf) }
 // Reset discards buffered bytes.
 func (h *HeadBuffer) Reset() { h.buf = h.buf[:0] }
 
+// Discard drops up to n buffered bytes (a request body that rode in with
+// its head), returning how many were dropped.
+func (h *HeadBuffer) Discard(n int) int {
+	if n > len(h.buf) {
+		n = len(h.buf)
+	}
+	h.buf = append(h.buf[:0], h.buf[n:]...)
+	return n
+}
+
+// pushBack appends stream bytes without attempting head extraction (the
+// body drain uses it for pipelined bytes past a request body; the next
+// Pending call extracts).
+func (h *HeadBuffer) pushBack(p []byte) { h.buf = append(h.buf, p...) }
+
 func (h *HeadBuffer) take() (string, error) {
 	if i := indexCRLFCRLF(h.buf); i >= 0 {
 		// Reject overlong heads even when the terminator is in the same

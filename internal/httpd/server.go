@@ -14,6 +14,7 @@ import (
 	"hybrid/internal/kernel"
 	"hybrid/internal/stats"
 	"hybrid/internal/tcp"
+	"hybrid/internal/timerwheel"
 	"hybrid/internal/vclock"
 )
 
@@ -100,6 +101,11 @@ type ServerConfig struct {
 	// OverloadConfig). Nil keeps the server byte-identical to the plain
 	// implementation.
 	Overload *OverloadConfig
+	// Lifecycle, when non-nil, arms per-connection phase deadlines on the
+	// server's timer wheel: idle reaping, header and body read budgets,
+	// and write-stall detection (see LifecycleConfig). Nil keeps the
+	// server byte-identical to the plain implementation.
+	Lifecycle *LifecycleConfig
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -148,6 +154,14 @@ type Server struct {
 	sheds       atomic.Uint64 // connections shed (503) by the deadline
 	unavailable atomic.Uint64 // 503 responses sent
 
+	// Lifecycle state and counters (nil / registered only when
+	// cfg.Lifecycle arms at least one deadline).
+	wheel      *timerwheel.Wheel
+	reapedIdle atomic.Uint64 // idle keep-alive connections reaped
+	shedHeader atomic.Uint64 // slow-loris header sheds
+	shedBody   atomic.Uint64 // slow body-drain sheds
+	shedWrite  atomic.Uint64 // write-stall sheds
+
 	// Overload state and counters (nil / registered only when
 	// cfg.Overload is set).
 	ovl          *overloadState
@@ -186,6 +200,13 @@ func NewServer(io *hio.IO, cfg ServerConfig) *Server {
 		s.metrics.CounterFunc("disk_errors", s.diskErrors.Load)
 		s.metrics.CounterFunc("sheds", s.sheds.Load)
 		s.metrics.CounterFunc("resp_503", s.unavailable.Load)
+	}
+	if cfg.Lifecycle.enabled() {
+		s.wheel = timerwheel.New(io.Clock())
+		s.metrics.CounterFunc("reaped_idle", s.reapedIdle.Load)
+		s.metrics.CounterFunc("shed_header", s.shedHeader.Load)
+		s.metrics.CounterFunc("shed_body", s.shedBody.Load)
+		s.metrics.CounterFunc("shed_write", s.shedWrite.Load)
 	}
 	if cfg.Overload != nil {
 		s.ovl = newOverloadState(io.Clock(), cfg.Overload.withDefaults())
@@ -334,6 +355,10 @@ func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
 	s.conns.Add(1)
 	hb := &HeadBuffer{}
 	buf := bufpool.Get(connReadBytes)
+	t, w := s.watchConn(t)
+	if w != nil {
+		w.toIdle() // budget for the first request's first byte
+	}
 
 	serveLoop := func(k func(core.Unit) core.Trace) core.Trace {
 		var (
@@ -343,6 +368,9 @@ func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
 		// The connection ends at most once, so its close trace can be
 		// built up front (building an M is pure; only forcing it acts).
 		closeTrace := core.Then(t.Close(), core.Do(func() {
+			if w != nil {
+				w.cancel()
+			}
 			s.conns.Add(-1)
 			bufpool.Put(buf)
 		}))(k)
@@ -350,6 +378,9 @@ func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
 		var pendingNode, feedNode, parseNode *core.NBIONode
 		afterRespond := func(keep bool) core.Trace {
 			if keep {
+				if w != nil {
+					w.toIdle() // response done: next deadline is the idle reap
+				}
 				return pendingNode // next request on this connection
 			}
 			return closeTrace
@@ -358,6 +389,15 @@ func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
 			req, err := ParseRequest(headStr)
 			if err != nil {
 				return &core.ThrowNode{Err: err}
+			}
+			if w != nil {
+				if drain := s.drainBody(t, hb, req, w, buf); drain != nil {
+					return drain(func(core.Unit) core.Trace {
+						w.toWrite()
+						return s.respondBounded(t, req)(afterRespond)
+					})
+				}
+				w.toWrite()
 			}
 			return s.respondBounded(t, req)(afterRespond)
 		}}
@@ -375,6 +415,9 @@ func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
 		readTrace := t.Read(buf)(func(n int) core.Trace {
 			if n == 0 {
 				return closeTrace // clean EOF
+			}
+			if w != nil {
+				w.onBytes() // first bytes of a head: idle -> header budget
 			}
 			nRead = n
 			return feedNode
@@ -406,6 +449,9 @@ func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
 				// serveAdmitted to account for it. The buffer is left to
 				// the garbage collector — after a panic mid-handler its
 				// state is not worth reasoning about.
+				if w != nil {
+					w.cancel()
+				}
 				s.conns.Add(-1)
 				return core.Then(
 					core.Catch(core.Then(t.Close(), core.Skip),
@@ -413,6 +459,9 @@ func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
 					core.Throw[core.Unit](err),
 				)
 			}
+		}
+		if w != nil {
+			w.cancel()
 		}
 		s.errors.Add(1)
 		s.conns.Add(-1)

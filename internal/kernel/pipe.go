@@ -131,10 +131,15 @@ func (p *pipe) closeRead() error {
 		return ErrClosed
 	}
 	p.readClosed = true
-	// Writers see EPIPE from now on; wake them with HUP.
+	// Writers see EPIPE from now on; wake them with HUP. Waiters parked
+	// on the read end itself are woken too: a descriptor closed out from
+	// under a blocked reader (a lifecycle shed) must fail that read now,
+	// not when the peer eventually closes its side.
 	fired := p.writers.collect(EventWrite | EventHup)
+	orphaned := p.readers.collect(EventRead | EventHup)
 	p.mu.Unlock()
 	fireAll(fired, EventWrite|EventHup)
+	fireAll(orphaned, EventRead|EventHup)
 	return nil
 }
 
@@ -145,10 +150,14 @@ func (p *pipe) closeWrite() error {
 		return ErrClosed
 	}
 	p.writeClosed = true
-	// Readers now see EOF once drained; that counts as readable.
+	// Readers now see EOF once drained; that counts as readable. Waiters
+	// parked on the write end itself are woken for the same reason as in
+	// closeRead: their next write must fail immediately.
 	fired := p.readers.collect(EventRead | EventHup)
+	orphaned := p.writers.collect(EventWrite | EventHup)
 	p.mu.Unlock()
 	fireAll(fired, EventRead|EventHup)
+	fireAll(orphaned, EventWrite|EventHup)
 	return nil
 }
 

@@ -48,6 +48,21 @@ type Config struct {
 	// plain generator treats a full backlog as a dead client.
 	ConnectRetries int
 	ConnectBackoff time.Duration
+	// Horizon, when > 0, switches every client to closed-loop sessions:
+	// connect, issue SessionRequests requests, close, reconnect — until
+	// the virtual clock passes start+Horizon. Failed connects and stuck
+	// sessions are counted in Errors and retried after ConnectBackoff
+	// instead of killing the client, so the generator measures delivered
+	// goodput under contention rather than first-failure survival.
+	Horizon vclock.Duration
+	// SessionRequests is the requests per connection in Horizon mode
+	// (default RequestsPerClient).
+	SessionRequests int
+	// SessionTimeout bounds one session in Horizon mode; a session that
+	// cannot finish (a connection parked in a dead server's backlog, a
+	// response that never comes) is abandoned, closed, and counted as one
+	// error. Default 250ms.
+	SessionTimeout vclock.Duration
 }
 
 // Generator drives the workload and accumulates counters.
@@ -118,6 +133,9 @@ func (g *Generator) client(id int) core.M[core.Unit] {
 	// its whole request sequence (oneRequest leaves both empty).
 	hb := &httpd.HeadBuffer{}
 	buf := make([]byte, 8192)
+	if g.cfg.Horizon > 0 {
+		return g.sessions(next, hb, buf)
+	}
 	body := func(conn kernel.FD) core.M[core.Unit] {
 		return core.ForN(g.cfg.RequestsPerClient, func(int) core.M[core.Unit] {
 			name := FileName(int(next() % uint64(g.cfg.Files)))
@@ -146,6 +164,66 @@ func (g *Generator) client(id int) core.M[core.Unit] {
 			return core.Skip
 		},
 	)
+}
+
+// sessions is the Horizon-mode client body: closed-loop sessions of
+// SessionRequests requests each, repeated until the horizon, with every
+// failure counted and survived.
+func (g *Generator) sessions(next func() uint64, hb *httpd.HeadBuffer, buf []byte) core.M[core.Unit] {
+	clk := g.io.Clock()
+	per := g.cfg.SessionRequests
+	if per <= 0 {
+		per = g.cfg.RequestsPerClient
+	}
+	if per < 1 {
+		per = 1
+	}
+	sto := g.cfg.SessionTimeout
+	if sto <= 0 {
+		sto = 250 * time.Millisecond
+	}
+	backoff := g.cfg.ConnectBackoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	work := func(conn kernel.FD) core.M[core.Unit] {
+		return core.ForN(per, func(int) core.M[core.Unit] {
+			name := FileName(int(next() % uint64(g.cfg.Files)))
+			return g.oneRequest(conn, name, hb, buf)
+		})
+	}
+	one := func() core.M[core.Unit] {
+		// A stale session may have left response fragments behind.
+		hb.Reset()
+		return core.Bind(g.io.SockConnect(g.cfg.Addr), func(conn kernel.FD) core.M[core.Unit] {
+			// The timeout sits inside the Finally: an abandoned session's
+			// socket is closed immediately, which also unblocks the
+			// abandoned thread so it unwinds instead of leaking.
+			return core.Finally(
+				core.Timeout(clk, sto, work(conn)),
+				core.Catch(g.io.CloseFD(conn), func(error) core.M[core.Unit] { return core.Skip }),
+			)
+		})
+	}
+	return core.Bind(core.NBIO(clk.Now), func(start vclock.Time) core.M[core.Unit] {
+		deadline := start + vclock.Time(g.cfg.Horizon)
+		var loop func() core.M[core.Unit]
+		loop = func() core.M[core.Unit] {
+			return core.Bind(core.NBIO(clk.Now), func(now vclock.Time) core.M[core.Unit] {
+				if now >= deadline {
+					return core.Skip
+				}
+				return core.Then(
+					core.Catch(one(), func(error) core.M[core.Unit] {
+						g.Errors.Add(1)
+						return g.io.Sleep(backoff)
+					}),
+					loop(),
+				)
+			})
+		}
+		return loop()
+	})
 }
 
 // oneRequest issues one GET and consumes the full response. hb and buf

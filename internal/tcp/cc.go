@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"math"
+	"time"
 
 	"hybrid/internal/vclock"
 )
@@ -34,8 +35,11 @@ type CongestionController interface {
 	Ssthresh() uint32
 	// OnAck processes an ACK that advanced sndUna by acked bytes, outside
 	// recovery: grow the window (slow start below ssthresh, the
-	// algorithm's avoidance law above it).
-	OnAck(acked uint32, now vclock.Time)
+	// algorithm's avoidance law above it). srtt is the connection's
+	// smoothed RTT estimate (RFC 6298), or 0 before the first sample;
+	// time-based laws (CUBIC's TCP-friendly region) need it, Reno
+	// ignores it.
+	OnAck(acked uint32, srtt time.Duration, now vclock.Time)
 	// OnEnterRecovery responds to loss detected by duplicate ACKs, with
 	// flight bytes outstanding: cut ssthresh and set cwnd for the
 	// recovery episode.
@@ -78,7 +82,7 @@ func (r *renoCC) Name() string     { return "reno" }
 func (r *renoCC) Cwnd() uint32     { return r.cwnd }
 func (r *renoCC) Ssthresh() uint32 { return r.ssthresh }
 
-func (r *renoCC) OnAck(acked uint32, _ vclock.Time) {
+func (r *renoCC) OnAck(acked uint32, _ time.Duration, _ vclock.Time) {
 	if r.cwnd < r.ssthresh {
 		r.cwnd += r.mss // slow start
 	} else if r.cwnd > 0 {
@@ -138,26 +142,44 @@ const (
 // time between losses rather than RTT. Windows in the growth law are in
 // MSS units (as in the RFC); cwnd itself stays in bytes.
 //
-// Deviation from RFC 8312, documented in DESIGN.md: the TCP-friendly
-// region (tracking an estimated Reno window, §4.2) is omitted because it
-// needs an RTT term the controller deliberately does not receive; in its
-// place the flat region near Wmax creeps by MSS/100 per ACK so the window
-// still probes. All arithmetic is float64, which Go evaluates identically
-// on every platform, so traces stay byte-reproducible.
+// The TCP-friendly region (RFC 8312 §4.2) estimates the window a Reno
+// flow would have reached since the epoch started — W_est grows by
+// 3(1−β)/(1+β) MSS per SRTT — and never lets the cubic law undershoot
+// it, which is what keeps CUBIC competitive on the short, low-BDP paths
+// where the cubic term alone is nearly flat. In the flat region with no
+// RTT sample yet the window creeps by MSS/100 per ACK so it still
+// probes. All arithmetic is float64, which Go evaluates identically on
+// every platform, so traces stay byte-reproducible.
 type cubicCC struct {
 	mss, cwnd, ssthresh uint32
 	wMax                float64 // window before the last decrease, MSS units
 	wLastMax            float64 // for fast convergence (RFC 8312 §4.6)
 	k                   float64 // seconds until W(t) regains wMax
+	wEst                float64 // Reno-equivalent window estimate, MSS units
+	frac                float64 // sub-MSS growth credit, bytes (see grow)
 	epoch               vclock.Time
 	hasEpoch            bool
+}
+
+// grow credits b bytes of window growth but only moves cwnd in whole-MSS
+// steps, banking the remainder. The cubic and W_est laws hand out a few
+// bytes per ACK; applying them directly would open the send window in
+// slivers and shatter the stream into tiny segments (the sender transmits
+// whatever the window allows). Real implementations keep cwnd integral in
+// segments for exactly this reason (Linux's snd_cwnd_cnt).
+func (c *cubicCC) grow(b float64) {
+	c.frac += b
+	for c.frac >= float64(c.mss) {
+		c.cwnd += c.mss
+		c.frac -= float64(c.mss)
+	}
 }
 
 func (c *cubicCC) Name() string     { return "cubic" }
 func (c *cubicCC) Cwnd() uint32     { return c.cwnd }
 func (c *cubicCC) Ssthresh() uint32 { return c.ssthresh }
 
-func (c *cubicCC) OnAck(acked uint32, now vclock.Time) {
+func (c *cubicCC) OnAck(acked uint32, srtt time.Duration, now vclock.Time) {
 	if c.cwnd < c.ssthresh {
 		c.cwnd += c.mss // slow start, same as Reno
 		return
@@ -169,27 +191,69 @@ func (c *cubicCC) OnAck(acked uint32, now vclock.Time) {
 		// start the cubic epoch here.
 		c.hasEpoch = true
 		c.epoch = now
+		c.wEst = w
+		c.frac = 0
 		if c.wMax < w {
 			c.wMax = w // no decrease yet: probe convexly from the current window
 		}
 		c.k = math.Cbrt((c.wMax - w) / cubicC)
 	}
 	t := float64(now-c.epoch) / float64(1e9)
-	target := cubicC*(t-c.k)*(t-c.k)*(t-c.k) + c.wMax
+	rtt := float64(srtt) / float64(1e9)
+	// W_cubic one RTT ahead (RFC 8312 §4.1): the per-ACK increment aims
+	// at where the cubic wants to be after this round trip, not where it
+	// is now. Before the first RTT sample rtt is 0 and this degrades to
+	// the instantaneous cubic.
+	ta := t + rtt
+	target := cubicC*(ta-c.k)*(ta-c.k)*(ta-c.k) + c.wMax
 	if limit := 1.5 * w; target > limit {
 		target = limit // clamp the per-RTT burst (RFC 8312 §4.1's 1.5x rule)
 	}
+	// TCP-friendly region (RFC 8312 §4.2 as amended by RFC 9438 §4.3):
+	// W_est tracks the window an AIMD flow with CUBIC's β would have
+	// built since the epoch — α = 3(1−β)/(1+β) MSS per window of ACKs
+	// while below W_max (the gentler cut pays for the slower climb), then
+	// 1 MSS per window, plain Reno avoidance, once the old maximum is
+	// regained. The update is incremental per ACK, like Reno's own law,
+	// so it needs no RTT sample and — unlike the closed-form
+	// W_est(t) = W + α·t/RTT — cannot retroactively shrink when queueing
+	// inflates SRTT mid-epoch. While the cubic law sits below the
+	// estimate, run at the estimate.
+	alpha := 1.0
+	if c.wEst < c.wMax {
+		alpha = 3 * (1 - cubicBeta) / (1 + cubicBeta)
+	}
+	c.wEst += alpha * float64(acked) / float64(c.cwnd)
+	wCur := cubicC*(t-c.k)*(t-c.k)*(t-c.k) + c.wMax
+	if wCur < c.wEst {
+		if t := c.wEst * mss; t > float64(c.cwnd)+c.frac {
+			c.grow(t - float64(c.cwnd) - c.frac)
+		} else {
+			c.grow(float64(c.mss/100 + 1))
+		}
+		return
+	}
 	if target > w {
-		c.cwnd += uint32((target - w) / w * mss)
+		c.grow((target - w) / w * mss)
 	} else {
-		c.cwnd += c.mss/100 + 1 // flat region near wMax: keep probing slowly
+		c.grow(float64(c.mss/100 + 1)) // flat region near wMax: keep probing slowly
 	}
 }
 
 // decrease applies the multiplicative cut and fast convergence, shared by
-// the dupack and RTO paths.
-func (c *cubicCC) decrease() uint32 {
-	w := float64(c.cwnd) / float64(c.mss)
+// the dupack and RTO paths. The cut is taken from the bytes actually in
+// flight, not from cwnd. RFC 8312 writes it as cwnd·β because cwnd tracks
+// flight in steady state, but here the two diverge in both directions:
+// right after an RTO cwnd sits at one MSS under a still-full pipe
+// (cutting from it would stall retransmissions into serial timeouts), and
+// on a receiver-limited flow the cubic law balloons cwnd far past the
+// usable window (cutting from it would open a recovery window several
+// times the pipe and dump a queue-filling burst). Flight is the flow's
+// true operating point either way — the same rule Reno's half-flight cut
+// uses.
+func (c *cubicCC) decrease(flight uint32) uint32 {
+	base := flight
+	w := float64(base) / float64(c.mss)
 	if w < c.wLastMax {
 		// Fast convergence: the window never regained its old peak, so
 		// release capacity to newer flows by remembering less than we had.
@@ -200,16 +264,26 @@ func (c *cubicCC) decrease() uint32 {
 		c.wMax = w
 	}
 	c.hasEpoch = false
-	ss := uint32(float64(c.cwnd) * cubicBeta)
+	c.frac = 0
+	ss := uint32(float64(base) * cubicBeta)
 	if ss < 2*c.mss {
 		ss = 2 * c.mss
 	}
 	return ss
 }
 
-func (c *cubicCC) OnEnterRecovery(_ uint32, _ vclock.Time) {
-	c.ssthresh = c.decrease()
-	c.cwnd = c.ssthresh
+func (c *cubicCC) OnEnterRecovery(flight uint32, _ vclock.Time) {
+	c.ssthresh = c.decrease(flight)
+	// Conservative reduction during the episode itself (the spirit of RFC
+	// 6937): the recovery window opens at half the flight — what the pipe
+	// is known to sustain — rather than jumping straight to β·flight,
+	// which would burst retransmissions and new data into an
+	// already-dropping path. cwnd settles at ssthresh (= β·flight, the
+	// CUBIC cut) when the episode exits.
+	c.cwnd = flight / 2
+	if c.cwnd < 2*c.mss {
+		c.cwnd = 2 * c.mss
+	}
 }
 
 func (c *cubicCC) OnPartialAck(acked uint32) {
@@ -227,7 +301,7 @@ func (c *cubicCC) OnPartialAck(acked uint32) {
 
 func (c *cubicCC) OnExitRecovery(_ vclock.Time) { c.cwnd = c.ssthresh }
 
-func (c *cubicCC) OnRTO(_ uint32) {
-	c.ssthresh = c.decrease()
+func (c *cubicCC) OnRTO(flight uint32) {
+	c.ssthresh = c.decrease(flight)
 	c.cwnd = c.mss
 }

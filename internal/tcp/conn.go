@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"hybrid/internal/iovec"
+	"hybrid/internal/timerwheel"
 	"hybrid/internal/vclock"
 )
 
@@ -108,13 +109,15 @@ type Conn struct {
 	rttStart     vclock.Time
 	rttPending   bool
 
-	// Timers; gen counters invalidate stale callbacks.
-	rtoTimer     *vclock.Timer
+	// Timers, all parked on the stack's hierarchical wheel so arm and
+	// cancel are O(1) regardless of connection count; gen counters
+	// invalidate stale callbacks.
+	rtoTimer     *timerwheel.Timer
 	rtoGen       uint64
-	persistTimer *vclock.Timer
+	persistTimer *timerwheel.Timer
 	persistGen   uint64
-	twTimer      *vclock.Timer
-	delackTimer  *vclock.Timer
+	twTimer      *timerwheel.Timer
+	delackTimer  *timerwheel.Timer
 	delackGen    uint64
 	delackCount  int // data segments received since the last ACK sent
 
@@ -233,7 +236,7 @@ func (c *Conn) ackDataLocked(urgent bool) {
 		return // already armed
 	}
 	gen := c.delackGen
-	c.delackTimer = c.s.clock.After(c.s.cfg.DelayedAck, func() {
+	c.delackTimer = c.s.wheel.Schedule(c.s.cfg.DelayedAck, func() {
 		c.s.mu.Lock()
 		if c.delackGen != gen || c.state == StateClosed {
 			c.s.mu.Unlock()
@@ -398,7 +401,7 @@ func (c *Conn) armRTOLocked() {
 		return
 	}
 	gen := c.rtoGen
-	c.rtoTimer = c.s.clock.After(c.rto, func() {
+	c.rtoTimer = c.s.wheel.Schedule(c.rto, func() {
 		c.s.mu.Lock()
 		if c.rtoGen != gen || c.state == StateClosed {
 			c.s.mu.Unlock()
@@ -487,7 +490,7 @@ func (c *Conn) armPersistLocked() {
 		return
 	}
 	gen := c.persistGen
-	c.persistTimer = c.s.clock.After(c.rto, func() {
+	c.persistTimer = c.s.wheel.Schedule(c.rto, func() {
 		c.s.mu.Lock()
 		if c.persistGen != gen || c.state == StateClosed {
 			c.s.mu.Unlock()
@@ -526,7 +529,7 @@ func (c *Conn) enterTimeWaitLocked() {
 	if c.twTimer != nil {
 		c.twTimer.Stop()
 	}
-	c.twTimer = c.s.clock.After(2*c.s.cfg.MSL, func() {
+	c.twTimer = c.s.wheel.Schedule(2*c.s.cfg.MSL, func() {
 		c.s.mu.Lock()
 		if c.state == StateTimeWait {
 			c.state = StateClosed
@@ -694,7 +697,7 @@ func (c *Conn) acceptAckLocked(seg *Segment) (wakes []func()) {
 				c.clearScoreboardLocked()
 				c.cc.OnExitRecovery(c.s.clock.Now())
 			} else {
-				c.cc.OnAck(acked, c.s.clock.Now())
+				c.cc.OnAck(acked, c.srtt, c.s.clock.Now())
 			}
 			c.dupAcks = 0
 		}

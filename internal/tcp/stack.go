@@ -12,6 +12,7 @@ import (
 	"hybrid/internal/iovec"
 	"hybrid/internal/netsim"
 	"hybrid/internal/stats"
+	"hybrid/internal/timerwheel"
 	"hybrid/internal/vclock"
 )
 
@@ -181,6 +182,7 @@ type Stack struct {
 	cfg   Config
 	host  *netsim.Host
 	clock vclock.Clock
+	wheel *timerwheel.Wheel // all per-connection deadlines; O(1) arm/cancel
 
 	mu        sync.Mutex
 	conns     map[connKey]*Conn
@@ -240,6 +242,7 @@ func NewStack(host *netsim.Host, cfg Config) *Stack {
 		cfg:       cfg.withDefaults(),
 		host:      host,
 		clock:     host.Clock(),
+		wheel:     timerwheel.New(host.Clock()),
 		conns:     make(map[connKey]*Conn),
 		listeners: make(map[uint16]*Listener),
 		nextPort:  49152,

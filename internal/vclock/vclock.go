@@ -223,6 +223,37 @@ func (c *VirtualClock) After(d Duration, fn func()) *Timer {
 	return t
 }
 
+// ReserveSeq allocates and returns the next sequence number without
+// scheduling anything. External timer structures (the hierarchical timer
+// wheel) reserve a position in the global event order at scheduling time,
+// park the callback outside the heap, and later hand it back via
+// ScheduleReserved — so deferring heap insertion never changes the order
+// in which same-timestamp events fire.
+func (c *VirtualClock) ReserveSeq() uint64 {
+	c.mu.Lock()
+	c.seq++
+	s := c.seq
+	c.mu.Unlock()
+	return s
+}
+
+// ScheduleReserved schedules fn at the absolute time when under a
+// sequence number previously obtained from ReserveSeq. The event fires
+// exactly as if it had been scheduled with After at reservation time:
+// (when, seq) ordering is preserved no matter how late the handoff
+// happens, as long as when has not yet been reached.
+func (c *VirtualClock) ScheduleReserved(when Time, seq uint64, fn func()) *Timer {
+	c.mu.Lock()
+	if int64(when) < c.now.Load() {
+		when = Time(c.now.Load())
+	}
+	t := &Timer{owner: c, when: when, seq: seq, fn: fn, index: -1}
+	heap.Push(&c.events, t)
+	c.maybeAdvanceLocked()
+	c.mu.Unlock()
+	return t
+}
+
 // Advance attempts an epoch advance if the system is quiescent. Workers
 // call it (via the ready queue's idle hook) after draining their run
 // queues; it returns without effect when holds are outstanding, another
