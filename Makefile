@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race race-smp determinism tcp-conformance tier2 stress overload-stress adversarial-smoke fuzz-smoke bench bench-smoke profile
+.PHONY: tier1 build vet test race race-smp determinism tcp-conformance mem-budget tier2 stress overload-stress adversarial-smoke fuzz-smoke bench bench-smoke profile
 
 # tier1 is the repository's gate: everything must build, vet clean, and
 # pass tests, with the race detector over the concurrency-heavy packages.
@@ -51,9 +51,13 @@ determinism:
 	GOMAXPROCS=4 $(GO) run ./cmd/fig21adversarial -quick > det_fig21_a.tmp
 	GOMAXPROCS=4 $(GO) run ./cmd/fig21adversarial -quick > det_fig21_b.tmp
 	cmp det_fig21_a.tmp det_fig21_b.tmp
+	GOMAXPROCS=4 $(GO) run ./cmd/fig22c1m -quick -det > det_fig22_a.tmp
+	GOMAXPROCS=4 $(GO) run ./cmd/fig22c1m -quick -det > det_fig22_b.tmp
+	cmp det_fig22_a.tmp det_fig22_b.tmp
 	rm -f det_fig17_a.tmp det_fig17_b.tmp det_fig19_a.tmp det_fig19_b.tmp \
-		det_fig20_a.tmp det_fig20_b.tmp det_fig21_a.tmp det_fig21_b.tmp
-	@echo "determinism: fig17/fig19/fig20/fig21 output byte-identical across GOMAXPROCS=4 runs"
+		det_fig20_a.tmp det_fig20_b.tmp det_fig21_a.tmp det_fig21_b.tmp \
+		det_fig22_a.tmp det_fig22_b.tmp
+	@echo "determinism: fig17/fig19/fig20/fig21/fig22 output byte-identical across GOMAXPROCS=4 runs"
 
 # tcp-conformance replays every packet-trace scenario against its
 # committed golden twice, under the race detector at GOMAXPROCS=4: the
@@ -62,6 +66,16 @@ determinism:
 # blocks, ACK generation, or cwnd arithmetic fails the leg with a diff.
 tcp-conformance:
 	GOMAXPROCS=4 $(GO) test -race -count=2 ./internal/tcp/tracecheck/
+
+# mem-budget is the blocking per-connection memory gate: establish 16384
+# parked keep-alive connections and fail if live heap per connection
+# exceeds 9216 bytes (the ROADMAP's 8 KB idle-connection target plus 1 KB
+# of slack for runtime noise). The elastic rings put the measured figure
+# around 6.7 KB; a change that re-eagers buffer allocation — the old flat
+# rings cost 137.7 KB/conn — fails here instead of in the next capacity
+# experiment.
+mem-budget:
+	$(GO) run ./cmd/memtest -threads 1000 -conns 16384 -budget 9216
 
 # tier2 is the extended, non-gating suite (~30s): the randomized
 # scheduler stress tests under the race detector, the seeded overload
@@ -96,11 +110,12 @@ fuzz-smoke:
 
 # bench is the reproducible performance harness: the quick Figure 17/19
 # configurations, the full Figure 20 loss-recovery sweep, the full
-# Figure 21 adversarial contest, and the hot-path Go microbenchmarks
-# with -benchmem, written as machine-readable rows to
-# BENCH_fig17.json/BENCH_fig19.json/BENCH_fig20.json/BENCH_fig21.json
-# (BENCH_LABEL tags the rows; -append preserves the committed
-# trajectory — run `$(GO) run ./cmd/benchjson -h` for one-off layouts).
+# Figure 21 adversarial contest, the full Figure 22 million-connection
+# capacity sweep, and the hot-path Go microbenchmarks with -benchmem,
+# written as machine-readable rows to BENCH_fig17.json/BENCH_fig19.json/
+# BENCH_fig20.json/BENCH_fig21.json/BENCH_fig22.json (BENCH_LABEL tags
+# the rows; -append preserves the committed trajectory — run
+# `$(GO) run ./cmd/benchjson -h` for one-off layouts).
 BENCH_LABEL ?= dev
 
 bench:

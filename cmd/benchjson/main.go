@@ -27,11 +27,12 @@ func main() {
 	fig19Path := flag.String("fig19", "BENCH_fig19.json", "output file for Figure 19 + micro rows")
 	fig20Path := flag.String("fig20", "BENCH_fig20.json", "output file for Figure 20 rows")
 	fig21Path := flag.String("fig21", "BENCH_fig21.json", "output file for Figure 21 rows")
+	fig22Path := flag.String("fig22", "BENCH_fig22.json", "output file for Figure 22 rows")
 	appendOut := flag.Bool("append", false, "append to the output files instead of truncating")
 	microOnly := flag.Bool("micro-only", false, "run only the Go microbenchmarks")
 	flag.Parse()
 
-	var fig17Rows, fig19Rows, fig20Rows, fig21Rows []bench.RunStats
+	var fig17Rows, fig19Rows, fig20Rows, fig21Rows, fig22Rows []bench.RunStats
 
 	if !*microOnly {
 		// Figure 17 (quick): disk head scheduling at three thread counts.
@@ -134,6 +135,27 @@ func main() {
 					system, p.GoodputMBps, p.P99Us, p.Sheds.Total())
 			}
 		}
+		// Figure 22: the million-connection capacity sweep, full scale —
+		// the committed rows are the capstone capacity claim, including
+		// the 1M-connection row. The virtual columns (MBps, P99Us) are
+		// deterministic; BytesPerConn reads the Go allocator and plays
+		// the role the wall-clock columns do in fig17/fig19: the
+		// machine-local cost side of the trajectory. X is the parked
+		// fleet size.
+		cfg22 := bench.DefaultFig22()
+		for _, n := range cfg22.Conns {
+			start := time.Now()
+			p := bench.Fig22Run(cfg22, n)
+			wall := time.Since(start)
+			fig22Rows = append(fig22Rows, bench.RunStats{
+				Figure: "fig22", System: "hybrid", Label: *label,
+				X: p.Conns, MBps: p.GoodputMBps, P99Us: p.P99Us,
+				BytesPerConn: p.ParkedBytesPerConn,
+				WallMS:       float64(wall.Microseconds()) / 1e3,
+			})
+			fmt.Printf("fig22 conns=%-8d %8.1f B/conn parked  %7.3f MB/s (virtual)  p99 %dus  wall %v\n",
+				p.Conns, p.ParkedBytesPerConn, p.GoodputMBps, p.P99Us, wall.Round(time.Millisecond))
+		}
 	}
 
 	// Go microbenchmarks: the allocation trajectory of the hot paths.
@@ -147,6 +169,7 @@ func main() {
 	writeRows(*fig19Path, fig19Rows, *appendOut)
 	writeRows(*fig20Path, fig20Rows, *appendOut)
 	writeRows(*fig21Path, fig21Rows, *appendOut)
+	writeRows(*fig22Path, fig22Rows, *appendOut)
 }
 
 func writeRows(path string, rows []bench.RunStats, appendOut bool) {

@@ -36,10 +36,19 @@ type ConnMemPoint struct {
 // live heap against the empty-server baseline.
 //
 // The figure includes both halves of each connection — the kernel-sim
-// socket rings (2 × 64 KB, allocated eagerly at connect) plus the client
-// thread — so it measures the whole simulated connection, and the rings
-// dominate: the monadic handler threads and wheel timers are noise
-// against 128 KB of buffering. That is the measurement's point.
+// socket rings plus the client thread — so it measures the whole
+// simulated connection. The rings are elastic chunked buffers
+// (internal/kernel/pipe.go): logical capacity 64 KB per direction, but
+// segments are pooled and released on drain, so a parked keep-alive
+// connection holds no ring memory at all and the figure is dominated by
+// what remains — the handler's pooled read buffer, the client's drain
+// buffer, two monadic threads, the FD table entries, and an armed wheel
+// timer. (The old flat rings allocated 2 × 64 KB eagerly at connect and
+// put the parked figure at 137.7 KB/conn; elastic rings put it under
+// 8 KB, which is what makes the Figure 22 million-connection sweep fit
+// in memory.) An active connection still pays for the buffered bytes
+// actually in flight: a stalled 256 KB response fills the server's send
+// ring to its logical capacity.
 func ConnMemTest(conns int) ConnMemPoint {
 	return ConnMemPoint{
 		Conns:              conns,
@@ -65,7 +74,7 @@ func connMemPhase(conns int, active bool) float64 {
 	defer io.Close()
 
 	// Parked connections finish one small response; active ones stall
-	// inside a response bigger than the 64 KB socket buffer.
+	// inside a response bigger than the socket buffer's logical capacity.
 	size := int64(512)
 	if active {
 		size = 256 * 1024

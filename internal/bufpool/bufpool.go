@@ -130,6 +130,74 @@ func classForCap(c int) *class {
 	return nil
 }
 
+// SegSize is the fixed size of an elastic ring segment: the chunk
+// granularity of the kernel sim's socket and pipe buffers (see
+// internal/kernel/pipe.go). 4 KiB matches the paper's pipe capacity, so
+// a FIFO pipe is exactly one segment and a default socket ring at most
+// sixteen.
+const SegSize = 4096
+
+// segs is the ring-segment free list. It is deliberately separate from
+// the size classes above even though a class of the same capacity
+// exists: segments are the highest-churn pool in the system (every byte
+// through every simulated socket crosses one), and giving them their own
+// pool and counters keeps the kernel's buffer-memory telemetry
+// (segment_gets / segment_puts / segment_misses in kernel Metrics())
+// untangled from httpd read buffers and disk chunks sharing the 4 KiB
+// class.
+var segs = class{size: SegSize}
+
+var (
+	segGets   atomic.Uint64
+	segPuts   atomic.Uint64
+	segMisses atomic.Uint64
+)
+
+// GetSeg returns one ring segment (len and cap SegSize), owned
+// exclusively by the caller until PutSeg.
+func GetSeg() []byte {
+	segGets.Add(1)
+	if v := segs.pool.Get(); v != nil {
+		bp := v.(*[]byte)
+		b := *bp
+		*bp = nil
+		boxes.Put(bp)
+		trackGet(b)
+		return b
+	}
+	segMisses.Add(1)
+	return make([]byte, SegSize)
+}
+
+// PutSeg returns a segment obtained from GetSeg. The same ownership
+// rules as Put apply: no view of the segment may be retained, and under
+// -race builds the segment is poisoned and double puts panic.
+func PutSeg(b []byte) {
+	if cap(b) != SegSize {
+		panic(fmt.Sprintf("bufpool: PutSeg of foreign buffer (cap %d, want %d)", cap(b), SegSize))
+	}
+	segPuts.Add(1)
+	b = b[:SegSize]
+	trackPut(b)
+	bp := boxes.Get().(*[]byte)
+	*bp = b
+	segs.pool.Put(bp)
+}
+
+// SegGets reports the number of GetSeg calls.
+func SegGets() uint64 { return segGets.Load() }
+
+// SegPuts reports the number of PutSeg calls.
+func SegPuts() uint64 { return segPuts.Load() }
+
+// SegMisses reports GetSegs served by a fresh allocation.
+func SegMisses() uint64 { return segMisses.Load() }
+
+// SegOutstanding reports segments handed out and not yet returned —
+// exactly the allocated buffer memory (in SegSize units) of every
+// elastic ring in the process.
+func SegOutstanding() int64 { return int64(segGets.Load()) - int64(segPuts.Load()) }
+
 // Gets reports the number of Get calls.
 func Gets() uint64 { return gets.Load() }
 
@@ -158,6 +226,10 @@ func Metrics() *stats.Registry {
 		metrics.CounterFunc("puts", Puts)
 		metrics.CounterFunc("misses", Misses)
 		metrics.GaugeFunc("outstanding", Outstanding)
+		metrics.CounterFunc("segment_gets", SegGets)
+		metrics.CounterFunc("segment_puts", SegPuts)
+		metrics.CounterFunc("segment_misses", SegMisses)
+		metrics.GaugeFunc("segment_outstanding", SegOutstanding)
 	})
 	return metrics
 }

@@ -130,3 +130,105 @@ func TestConcurrentGetPut(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// ---------------------------------------------------------------------------
+// Ring-segment pool (GetSeg / PutSeg — internal/kernel elastic rings)
+// ---------------------------------------------------------------------------
+
+func TestSegShapeAndReuse(t *testing.T) {
+	b := GetSeg()
+	if len(b) != SegSize || cap(b) != SegSize {
+		t.Fatalf("GetSeg: len %d cap %d, want %d", len(b), cap(b), SegSize)
+	}
+	PutSeg(b)
+	// Round-trip again: a segment that went through the pool comes back
+	// full-length regardless of whether sync.Pool retained it (GC may
+	// evict between Put and Get, so reuse itself is not asserted).
+	b = GetSeg()
+	if len(b) != SegSize || cap(b) != SegSize {
+		t.Fatalf("GetSeg after PutSeg: len %d cap %d, want %d", len(b), cap(b), SegSize)
+	}
+	PutSeg(b)
+}
+
+func TestSegCountersBalance(t *testing.T) {
+	g0, p0 := SegGets(), SegPuts()
+	var segs [][]byte
+	for i := 0; i < 32; i++ {
+		segs = append(segs, GetSeg())
+	}
+	if got := SegOutstanding(); got < 32 {
+		t.Fatalf("outstanding %d with 32 segments held", got)
+	}
+	for _, s := range segs {
+		PutSeg(s)
+	}
+	if got := SegGets() - g0; got != 32 {
+		t.Fatalf("seg gets %d, want 32", got)
+	}
+	if got := SegPuts() - p0; got != 32 {
+		t.Fatalf("seg puts %d, want 32", got)
+	}
+}
+
+func TestPutSegForeignBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PutSeg of a wrong-capacity buffer should panic")
+		}
+	}()
+	PutSeg(make([]byte, 100))
+}
+
+// TestSegPoisonAndDoublePut extends the -race ownership checks to ring
+// segments: a view retained across PutSeg reads poison, and returning
+// the same segment twice panics — the failure modes an elastic ring bug
+// (releasing a segment still referenced by an iovec view) would hit.
+func TestSegPoisonAndDoublePut(t *testing.T) {
+	if !RaceChecked {
+		t.Skip("poisoning is compiled in only under -race builds")
+	}
+	b := GetSeg()
+	for i := range b {
+		b[i] = 0x5A
+	}
+	stale := b
+	PutSeg(b)
+	for i, v := range stale {
+		if v != Poison {
+			t.Fatalf("stale segment view byte %d = %#x, want poison %#x", i, v, Poison)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second PutSeg of the same segment should panic")
+		}
+	}()
+	PutSeg(stale)
+}
+
+func TestSegConcurrentGetPut(t *testing.T) {
+	const workers = 8
+	const rounds = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				b := GetSeg()
+				for j := 0; j < len(b); j += 128 {
+					b[j] = byte(w)
+				}
+				for j := 0; j < len(b); j += 128 {
+					if b[j] != byte(w) {
+						t.Errorf("segment shared between owners")
+						return
+					}
+				}
+				PutSeg(b)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

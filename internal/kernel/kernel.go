@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hybrid/internal/bufpool"
 	"hybrid/internal/faults"
 	"hybrid/internal/stats"
 	"hybrid/internal/vclock"
@@ -222,6 +223,14 @@ func New(clock vclock.Clock) *Kernel {
 		k.metrics.CounterFunc(c.name, ctr.Load)
 	}
 	k.metrics.GaugeFunc("open_fds", func() int64 { return int64(k.OpenFDs()) })
+	// Elastic-ring segment traffic. The segment pool is process-global
+	// (like bufpool's other classes), but it is the kernel that draws on
+	// it — every pipe and socket ring chunks through it — so the kernel's
+	// registry is where capacity investigations look first.
+	k.metrics.CounterFunc("segment_gets", bufpool.SegGets)
+	k.metrics.CounterFunc("segment_puts", bufpool.SegPuts)
+	k.metrics.CounterFunc("segment_misses", bufpool.SegMisses)
+	k.metrics.GaugeFunc("segment_outstanding", bufpool.SegOutstanding)
 	return k
 }
 

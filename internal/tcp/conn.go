@@ -8,8 +8,9 @@ import (
 	"hybrid/internal/vclock"
 )
 
-// State is a TCP connection state (RFC 793 §3.2).
-type State int
+// State is a TCP connection state (RFC 793 §3.2). The underlying type is
+// uint8: the state rides in every TCB and there are ten of them.
+type State uint8
 
 // Connection states.
 const (
@@ -41,11 +42,11 @@ func (st State) String() string {
 // shares the send buffer's storage: retransmission holds references, not
 // copies.
 type rtxSeg struct {
-	seq           uint32
-	flags         Flags
 	payload       iovec.Vec
+	seq           uint32
+	retries       int32
+	flags         Flags
 	retransmitted bool
-	retries       int
 	// Scoreboard marks (SACK connections only). sacked: the peer reported
 	// this segment received, so it occupies no pipe and must not be
 	// retransmitted. rexInRec: already retransmitted during the current
@@ -68,71 +69,83 @@ func (r *rtxSeg) seqEnd() uint32 {
 // Conn is one TCP connection. All fields are guarded by the stack's lock;
 // user-facing methods are the Try*/On* pairs at the bottom plus the
 // monadic wrappers in api.go.
+// Fields are ordered for packing, not by subsystem: pointer-bearing
+// fields first, then 8-byte scalars, then 4-byte, then the flag bytes —
+// a parked keep-alive connection's footprint is the TCB plus nothing,
+// so every pad hole here is multiplied by the live-connection count
+// (Figure 22 carries a million of them).
 type Conn struct {
 	s        *Stack
-	key      connKey
-	state    State
 	err      error
 	listener *Listener // for SYN_RCVD conns created by a listener
+	key      connKey
 
-	// Send side.
-	iss       uint32
-	sndUna    uint32
-	sndNxt    uint32
-	sndWnd    uint32    // peer's advertised window
-	sndBuf    iovec.Vec // user data not yet segmented (zero-copy chain)
-	rtx       []rtxSeg
-	finQueued bool
-	finSent   bool
-	finSeq    uint32
+	// Send side. sndBuf chains user data not yet segmented (zero-copy).
+	sndBuf iovec.Vec
+	rtx    []rtxSeg
 
 	// Congestion control: cwnd/ssthresh arithmetic lives in the
 	// controller; loss detection and recovery sequencing live here.
-	cc      CongestionController
-	dupAcks int
-	// Loss recovery (RFC 6582/6675; only entered when the stack is
-	// configured with SACK or NewReno — the legacy machine has no
-	// recovery state).
-	inRecovery bool
-	recover    uint32 // sndNxt when recovery began; full ACK past it ends the episode
+	cc CongestionController
 
-	// SACK (RFC 2018). sackOn is set when both SYNs carried FlagSACKOK;
-	// sacks is the receive-side record of out-of-order ranges reported on
-	// every outgoing ACK.
-	sackOn bool
-	sacks  sackRanges
+	// SACK (RFC 2018). sackOn (below) is set when both SYNs carried
+	// FlagSACKOK; sacks is the receive-side record of out-of-order
+	// ranges reported on every outgoing ACK.
+	sacks sackRanges
 
-	// RTT estimation (RFC 6298, with Karn's algorithm).
-	srtt, rttvar time.Duration
-	rto          time.Duration
-	rttSeq       uint32
-	rttStart     vclock.Time
-	rttPending   bool
+	// Receive side. ooo is the reassembly map, allocated lazily on the
+	// first out-of-order arrival and dropped when drained — an in-order
+	// connection never pays for it.
+	rcvBuf iovec.Vec
+	ooo    map[uint32]iovec.Vec // seq -> payload, out-of-order
+
+	// Parked user operations (one-shot wake callbacks).
+	recvW, sendW, estW []func()
 
 	// Timers, all parked on the stack's hierarchical wheel so arm and
 	// cancel are O(1) regardless of connection count; gen counters
 	// invalidate stale callbacks.
 	rtoTimer     *timerwheel.Timer
-	rtoGen       uint64
 	persistTimer *timerwheel.Timer
-	persistGen   uint64
 	twTimer      *timerwheel.Timer
 	delackTimer  *timerwheel.Timer
+	rtoGen       uint64
+	persistGen   uint64
 	delackGen    uint64
-	delackCount  int // data segments received since the last ACK sent
 
-	// Receive side.
-	irs               uint32
-	rcvNxt            uint32
-	rcvBuf            iovec.Vec
-	ooo               map[uint32]iovec.Vec // seq -> payload, out-of-order
-	oooFin            bool
+	// RTT estimation (RFC 6298, with Karn's algorithm).
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	rttStart     vclock.Time
+
+	// Sequence-space scalars.
+	iss     uint32
+	sndUna  uint32
+	sndNxt  uint32
+	sndWnd  uint32 // peer's advertised window
+	finSeq  uint32
+	recover uint32 // sndNxt when recovery began; full ACK past it ends the episode
+	rttSeq  uint32
+	irs     uint32
+	rcvNxt  uint32
+	// oooFinSeq is live only while oooFin is set: the sequence number of
+	// a FIN that arrived ahead of a reassembly hole.
 	oooFinSeq         uint32
-	finRcvd           bool
 	lastWndAdvertised uint32
+	dupAcks           int32
 
-	// Parked user operations (one-shot wake callbacks).
-	recvW, sendW, estW []func()
+	state       State
+	delackCount uint8 // data segments received since the last ACK sent (flushed at 2)
+	finQueued   bool
+	finSent     bool
+	// inRecovery: loss recovery (RFC 6582/6675; only entered when the
+	// stack is configured with SACK or NewReno — the legacy machine has
+	// no recovery state).
+	inRecovery bool
+	sackOn     bool
+	rttPending bool
+	oooFin     bool
+	finRcvd    bool
 }
 
 // --- Accessors -------------------------------------------------------------
@@ -438,7 +451,7 @@ func (c *Conn) onRTOLocked() (wakes []func()) {
 	}
 	c.s.stats.RTOExpiries.Add(1)
 	r := &c.rtx[0]
-	if r.retries >= c.s.cfg.MaxRetries {
+	if int(r.retries) >= c.s.cfg.MaxRetries {
 		return c.teardownLocked(ErrTimeout)
 	}
 	r.retries++
@@ -836,6 +849,9 @@ func (c *Conn) processDataLocked(seg *Segment) (wakes []func()) {
 		c.s.stats.OutOfOrderIn.Add(1)
 		if len(c.ooo) < 1024 {
 			if _, dup := c.ooo[seq]; !dup {
+				if c.ooo == nil {
+					c.ooo = make(map[uint32]iovec.Vec)
+				}
 				c.ooo[seq] = payload
 			}
 			// Record the range for SACK only when the data is actually
@@ -889,6 +905,10 @@ func (c *Conn) drainOOOLocked() {
 		delete(c.ooo, c.rcvNxt)
 		c.rcvBuf = c.rcvBuf.Concat(p)
 		c.rcvNxt += uint32(p.Len())
+	}
+	if len(c.ooo) == 0 {
+		// Drop the drained reassembly map; the next loss re-allocates it.
+		c.ooo = nil
 	}
 	if c.oooFin && c.oooFinSeq == c.rcvNxt && !c.finRcvd {
 		c.rcvNxt++

@@ -432,7 +432,6 @@ func (s *Stack) newConnLocked(key connKey, st State) *Conn {
 		iss:   s.issNext,
 		cc:    newController(s.cfg.Controller, uint32(s.cfg.MSS), uint32(s.cfg.InitialCwnd*s.cfg.MSS)),
 		rto:   s.cfg.InitialRTO,
-		ooo:   make(map[uint32]iovec.Vec),
 	}
 	s.issNext += 64 * 1024 // deterministic, well-separated ISNs
 	c.sndUna = c.iss
