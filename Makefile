@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race race-smp determinism tcp-conformance mem-budget tier2 stress overload-stress adversarial-smoke fuzz-smoke bench bench-smoke profile
+.PHONY: tier1 build vet test race race-smp determinism tcp-conformance mem-budget core-alloc tier2 stress overload-stress adversarial-smoke fuzz-smoke bench bench-smoke profile
 
 # tier1 is the repository's gate: everything must build, vet clean, and
 # pass tests, with the race detector over the concurrency-heavy packages.
@@ -77,6 +77,15 @@ tcp-conformance:
 mem-budget:
 	$(GO) run ./cmd/memtest -threads 1000 -conns 16384 -budget 9216
 
+# core-alloc is the blocking fast-path allocation gate: AllocsPerRun pins
+# only, no timing, so it cannot flake on machine speed. It holds the
+# continuation-flattening line — fused Loop/ForN/RepeatN iterations at
+# zero allocations, the cached-GET serve loop within its per-request
+# budget — so a change that quietly re-introduces per-iteration closure
+# or node allocation fails here, not in the next perf investigation.
+core-alloc:
+	$(GO) test -run 'Alloc' -count=1 ./internal/core/ ./internal/bench/ ./internal/httpd/
+
 # tier2 is the extended, non-gating suite (~30s): the randomized
 # scheduler stress tests under the race detector, the seeded overload
 # smoke (a 4× load burst through admission control and the circuit
@@ -107,13 +116,15 @@ fuzz-smoke:
 	$(GO) test -run FuzzBufpoolRoundtrip -fuzz FuzzBufpoolRoundtrip -fuzztime 5s ./internal/bufpool/
 	$(GO) test -run FuzzSackRanges -fuzz FuzzSackRanges -fuzztime 5s ./internal/tcp/
 	$(GO) test -run FuzzSegmentRoundtrip -fuzz FuzzSegmentRoundtrip -fuzztime 5s ./internal/tcp/
+	$(GO) test -run FuzzFusedEquivalence -fuzz FuzzFusedEquivalence -fuzztime 5s ./internal/core/
 
 # bench is the reproducible performance harness: the quick Figure 17/19
 # configurations, the full Figure 20 loss-recovery sweep, the full
 # Figure 21 adversarial contest, the full Figure 22 million-connection
 # capacity sweep, and the hot-path Go microbenchmarks with -benchmem,
 # written as machine-readable rows to BENCH_fig17.json/BENCH_fig19.json/
-# BENCH_fig20.json/BENCH_fig21.json/BENCH_fig22.json (BENCH_LABEL tags
+# BENCH_fig20.json/BENCH_fig21.json/BENCH_fig22.json, with the
+# monadic-core trampoline pair in BENCH_core.json (BENCH_LABEL tags
 # the rows; -append preserves the committed trajectory — run
 # `$(GO) run ./cmd/benchjson -h` for one-off layouts).
 BENCH_LABEL ?= dev
@@ -132,7 +143,7 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem -count=1 ./internal/bench/
 	$(GO) test -run 'Alloc' -count=1 ./internal/bench/ ./internal/httpd/ ./internal/stats/
-	$(GO) run ./cmd/benchjson -micro-only -label smoke -fig19 BENCH_smoke.json
+	$(GO) run ./cmd/benchjson -micro-only -label smoke -fig19 BENCH_smoke.json -core BENCH_smoke_core.json
 	$(GO) run ./cmd/fig19web -quick -scaling -workers 4 -stats > SCALING_smoke.txt
 	$(GO) run ./cmd/fig19web -quick -scaling -workers 4 -stealing -stats >> SCALING_smoke.txt
 	cat SCALING_smoke.txt

@@ -28,6 +28,7 @@ func main() {
 	fig20Path := flag.String("fig20", "BENCH_fig20.json", "output file for Figure 20 rows")
 	fig21Path := flag.String("fig21", "BENCH_fig21.json", "output file for Figure 21 rows")
 	fig22Path := flag.String("fig22", "BENCH_fig22.json", "output file for Figure 22 rows")
+	corePath := flag.String("core", "BENCH_core.json", "output file for monadic-core trampoline rows")
 	appendOut := flag.Bool("append", false, "append to the output files instead of truncating")
 	microOnly := flag.Bool("micro-only", false, "run only the Go microbenchmarks")
 	flag.Parse()
@@ -165,11 +166,23 @@ func main() {
 		fmt.Println(bench.FormatMicro(rs))
 	}
 
+	// Monadic-core trampoline rows: the fused/naive steps-per-second pair,
+	// kept in their own trajectory file so the continuation-flattening
+	// delta is visible across PRs without digging through the fig19 rows.
+	var coreRows []bench.RunStats
+	for _, m := range bench.CoreMicros() {
+		rs := bench.RunMicro(m, *label)
+		rs.Figure = "core"
+		coreRows = append(coreRows, rs)
+		fmt.Println(bench.FormatMicro(rs))
+	}
+
 	writeRows(*fig17Path, fig17Rows, *appendOut)
 	writeRows(*fig19Path, fig19Rows, *appendOut)
 	writeRows(*fig20Path, fig20Rows, *appendOut)
 	writeRows(*fig21Path, fig21Rows, *appendOut)
 	writeRows(*fig22Path, fig22Rows, *appendOut)
+	writeRows(*corePath, coreRows, *appendOut)
 }
 
 func writeRows(path string, rows []bench.RunStats, appendOut bool) {

@@ -79,6 +79,16 @@ func Fig22Quick() Fig22Config {
 	return c
 }
 
+// NPTLModelStackBytes is the NPTL baseline's per-connection memory at
+// this scale: one kernel thread per parked connection at the paper's
+// 32 KB configured stack (internal/nptl's default). Unlike figures 17
+// and 18 the baseline here is reservation arithmetic, not a run — the
+// nptl runtime refuses fleets past its 512 MB budget (16 K threads),
+// which is itself the point: the sweep's upper rows are two orders of
+// magnitude beyond where a thread-per-connection server stops
+// admitting connections at all.
+const NPTLModelStackBytes = 32 * 1024
+
 // Fig22Point is one sweep cell: the cost and service quality of one
 // parked-fleet size.
 type Fig22Point struct {
@@ -88,6 +98,12 @@ type Fig22Point struct {
 	// connection, measured after the fleet is fully established and
 	// before the background mix starts. NaN when MeasureMemory is off.
 	ParkedBytesPerConn float64
+	// NPTLModelBytesPerConn is the modelled thread-per-connection
+	// baseline cost: NPTLModelStackBytes, constant in the fleet size.
+	// Reported next to the measured column in the non-deterministic
+	// figure output only (it is a memory-model column, like
+	// ParkedBytesPerConn, not a virtual-time result).
+	NPTLModelBytesPerConn float64
 	// P99Us is the background mix's p99 request latency (µs, virtual).
 	P99Us int64
 	// Requests and Errors are the background mix's totals.
@@ -235,12 +251,13 @@ func Fig22Run(cfg Fig22Config, conns int) Fig22Point {
 	}
 	runtime.KeepAlive(holders)
 	return Fig22Point{
-		Conns:              conns,
-		ParkedBytesPerConn: parked,
-		P99Us:              gen.Latency().Quantile(0.99),
-		Requests:           gen.Requests.Load(),
-		Errors:             gen.Errors.Load(),
-		GoodputMBps:        goodput,
+		Conns:                 conns,
+		ParkedBytesPerConn:    parked,
+		NPTLModelBytesPerConn: NPTLModelStackBytes,
+		P99Us:                 gen.Latency().Quantile(0.99),
+		Requests:              gen.Requests.Load(),
+		Errors:                gen.Errors.Load(),
+		GoodputMBps:           goodput,
 	}
 }
 

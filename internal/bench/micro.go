@@ -58,6 +58,18 @@ func (s *scriptedTransport) Close() core.M[core.Unit] {
 	return core.Do(func() { s.closed = true })
 }
 
+// WriteCell makes scriptedTransport an httpd.CellWriter so BenchServeCached
+// exercises the server's flattened fast path the way socket transports do:
+// the M is applied once per connection and its trace re-forced per response,
+// reading whatever *cell holds at force time.
+func (s *scriptedTransport) WriteCell(cell *[]byte) core.M[int] {
+	return core.NBIO(func() int {
+		p := *cell
+		s.wrote += uint64(len(p))
+		return len(p)
+	})
+}
+
 // BenchServeCached measures the cached-serve path end to end: one
 // persistent connection issuing b.N keep-alive GETs that all hit the
 // cache. Per op: request head parse, cache lookup, response head, body
@@ -176,6 +188,40 @@ func BenchTimerWheelRearm(b *testing.B) {
 	}
 }
 
+// benchSpin runs a tight loop of b.N NBIO probes under the given loop
+// combinator on a one-worker virtual-clock runtime and reports trampoline
+// steps/sec and allocs/step. Each iteration costs two trace nodes (the
+// body's NBIO probe and the loop's trampoline bounce), so steps = 2·b.N.
+func benchSpin(b *testing.B, loop func(core.M[bool]) core.M[core.Unit]) {
+	rt := core.NewRuntime(core.Options{Workers: 1, Clock: vclock.NewVirtual()})
+	defer rt.Shutdown()
+	n := 0
+	body := core.NBIO(func() bool {
+		n++
+		return n < b.N
+	})
+	done := make(chan struct{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	rt.Spawn(core.Then(loop(body), core.Do(func() { close(done) })))
+	<-done
+	b.StopTimer()
+	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "steps/sec")
+	if n < b.N {
+		b.Fatalf("loop ran %d iterations, want %d", n, b.N)
+	}
+}
+
+// BenchStepsPerSec measures raw trampoline throughput of the fused Loop
+// spine: a thread spinning on an NBIO probe, zero allocations per
+// iteration in steady state.
+func BenchStepsPerSec(b *testing.B) { benchSpin(b, core.Loop) }
+
+// BenchStepsPerSecNaive is the same spin through the naive closure-built
+// Loop spelling — the "before" row of the fused/naive pair, and a live
+// measurement of what continuation flattening buys.
+func BenchStepsPerSecNaive(b *testing.B) { benchSpin(b, core.NaiveLoop) }
+
 // Micro is one microbenchmark with the name its test wrapper exports.
 type Micro struct {
 	Name string
@@ -190,6 +236,17 @@ func Micros() []Micro {
 		{"BenchmarkSegmentRoundtrip", BenchSegmentRoundtrip},
 		{"BenchmarkSpawnRecycle", BenchSpawnRecycle},
 		{"BenchmarkTimerWheelRearm", BenchTimerWheelRearm},
+	}
+}
+
+// CoreMicros lists the monadic-core microbenchmarks recorded in
+// BENCH_core.json (Figure "core"): the fused trampoline spin and its
+// naive-closure counterpart, kept as a pair so the trajectory shows the
+// flattening delta directly.
+func CoreMicros() []Micro {
+	return []Micro{
+		{"BenchmarkStepsPerSec", BenchStepsPerSec},
+		{"BenchmarkStepsPerSecNaive", BenchStepsPerSecNaive},
 	}
 }
 

@@ -9,3 +9,5 @@ func BenchmarkServeCached(b *testing.B)      { BenchServeCached(b) }
 func BenchmarkSegmentRoundtrip(b *testing.B) { BenchSegmentRoundtrip(b) }
 func BenchmarkSpawnRecycle(b *testing.B)     { BenchSpawnRecycle(b) }
 func BenchmarkTimerWheelRearm(b *testing.B)  { BenchTimerWheelRearm(b) }
+func BenchmarkStepsPerSec(b *testing.B)      { BenchStepsPerSec(b) }
+func BenchmarkStepsPerSecNaive(b *testing.B) { BenchStepsPerSecNaive(b) }

@@ -1,0 +1,341 @@
+package core
+
+// Fused (defunctionalized) combinator spines.
+//
+// The closure spellings in monad.go rebuild their continuation graph on
+// every invocation of the returned M: each Seq element costs a fresh
+// closure, and each loop iteration costs a fresh continuation closure plus
+// a freshly allocated trampoline NBIONode. Following the CPC line of work
+// (Kerneis & Chroboczek, "Compiling threads to events through
+// continuations"), the combinators below compile the same control
+// structure once, at application time, into a small mutable state struct —
+// a flat step cursor plus an embedded, reused trampoline node — that a
+// fixed pair of closures interprets. Steady-state iterations then touch
+// only the state struct: zero allocations per iteration, and for the
+// constant-body loops (Loop, Forever, While, RepeatN) zero allocations per
+// replay of the cached body trace as well.
+//
+// Invariants (the fast-path rules; see DESIGN.md "Continuation
+// flattening"):
+//
+//   - Node-sequence equivalence. A fused combinator must emit exactly the
+//     node sequence its naive spelling emits — same node kinds, same
+//     counts, same positions relative to the body's own nodes. The
+//     scheduler charges its BatchSteps budget per node, so an extra or
+//     missing trampoline bounce changes yield points, which changes
+//     scheduling, which changes every virtual-time figure. The
+//     FuzzFusedEquivalence differential fuzz target enforces this.
+//
+//   - One application, one spine. Applying the M to a continuation
+//     allocates a fresh spine state; spines are never shared between
+//     applications, and a thread forces its own trace sequentially, so
+//     spine state needs no synchronization.
+//
+//   - Replay safety (arena recycling). Traces in this codebase may be
+//     retained and re-forced from the head after completing — the httpd
+//     serve loop does it per keep-alive request, and the fused
+//     constant-body loops below do it per iteration. A spine is therefore
+//     an arena owned by its trace, recycled by *resetting its cursor at
+//     completion* rather than by returning it to a pool: a sync.Pool
+//     release would let a retained trace re-enter a spine after it was
+//     re-leased to an unrelated thread. The reset target is the cursor
+//     position of the trace head, not zero — node-free prefixes (Skip,
+//     Return) evaluate eagerly at application time, so the head trace
+//     may sit past element zero (FuzzFusedEquivalence found this). (Thread-granularity pooling — the
+//     scheduler's generation-guarded TCB pool — remains the recycling
+//     story for per-thread state.)
+//
+//   - Constant-body caching. Loop, Forever, While, and RepeatN apply
+//     their body M once and re-force the resulting trace every iteration.
+//     This is sound because building an M is pure (forcing acts) and all
+//     primitive traces are replayable: NBIO/Blio effects re-run, Suspend
+//     re-parks with a fresh once-guard, Catch re-pushes its handler. ForN,
+//     ForEach, and FoldN cannot cache — their bodies take the iteration
+//     index or accumulator — so they fall back to re-applying the body
+//     per iteration (the body application is the only per-iteration cost;
+//     the spine itself allocates nothing).
+
+// Seq sequences unit computations in order, a stand-in for a do-block of
+// statements. Fused: one spine holds the element cursor; elements after
+// the first are applied as the cursor reaches them, all to the same
+// shared continuation.
+func Seq(ms ...M[Unit]) M[Unit] {
+	switch len(ms) {
+	case 0:
+		return Skip
+	case 1:
+		return ms[0]
+	}
+	return func(k func(Unit) Trace) Trace {
+		s := &seqSpine{ms: ms, k: k}
+		s.cont = s.step
+		// Node-free elements (Skip, Return) evaluate their continuation
+		// at application time, so the cursor may already have advanced
+		// past them when the head trace comes back. The replay reset
+		// must restore the cursor to the head's position, not to zero.
+		head := ms[0](s.cont)
+		s.i0 = s.i
+		return head
+	}
+}
+
+type seqSpine struct {
+	ms   []M[Unit]
+	i    int
+	i0   int // cursor position of the trace head (see Seq)
+	k    func(Unit) Trace
+	cont func(Unit) Trace // s.step, allocated once per spine
+}
+
+func (s *seqSpine) step(Unit) Trace {
+	i := s.i + 1
+	if i == len(s.ms)-1 {
+		s.i = s.i0 // reset: a retained trace may replay this spine
+		return s.ms[i](s.k)
+	}
+	s.i = i
+	return s.ms[i](s.cont)
+}
+
+// Loop runs body repeatedly for as long as it returns true. Fused: body
+// is applied once and its trace is re-forced each iteration through the
+// spine's embedded trampoline node — zero allocations per iteration.
+func Loop(body M[bool]) M[Unit] {
+	return func(k func(Unit) Trace) Trace {
+		s := &loopSpine{k: k}
+		s.node.Effect = s.bounce
+		s.body = body(s.step)
+		return s.body
+	}
+}
+
+type loopSpine struct {
+	body Trace
+	k    func(Unit) Trace
+	node NBIONode
+}
+
+func (s *loopSpine) step(again bool) Trace {
+	if !again {
+		return s.k(Unit{})
+	}
+	return &s.node
+}
+
+func (s *loopSpine) bounce() Trace { return s.body }
+
+// Forever runs body repeatedly, never returning. The thread can still end
+// via Halt or Throw inside the body. Fused like Loop, without the
+// per-iteration continue check.
+func Forever(body M[Unit]) M[Unit] {
+	return func(k func(Unit) Trace) Trace {
+		s := &foreverSpine{}
+		s.node.Effect = s.bounce
+		s.body = body(s.step)
+		return s.body
+	}
+}
+
+type foreverSpine struct {
+	body Trace
+	node NBIONode
+}
+
+func (s *foreverSpine) step(Unit) Trace { return &s.node }
+func (s *foreverSpine) bounce() Trace   { return s.body }
+
+// While runs body repeatedly for as long as cond returns true. cond is an
+// effectful computation, so it can inspect shared state via NBIO. Fused:
+// both constant computations are applied once; the spine alternates
+// between their cached traces with one trampoline bounce per iteration,
+// exactly where the naive Loop spelling bounced.
+func While(cond M[bool], body M[Unit]) M[Unit] {
+	return func(k func(Unit) Trace) Trace {
+		s := &whileSpine{k: k}
+		s.node.Effect = s.bounce
+		s.body = body(s.afterBody)
+		s.cond = cond(s.afterCond)
+		return s.cond
+	}
+}
+
+type whileSpine struct {
+	cond Trace
+	body Trace
+	k    func(Unit) Trace
+	node NBIONode
+}
+
+func (s *whileSpine) afterCond(ok bool) Trace {
+	if !ok {
+		return s.k(Unit{})
+	}
+	return s.body
+}
+
+func (s *whileSpine) afterBody(Unit) Trace { return &s.node }
+func (s *whileSpine) bounce() Trace        { return s.cond }
+
+// ForN runs body(0), body(1), …, body(n-1) in order. The spine allocates
+// nothing per iteration; body(i) is applied fresh each iteration (its
+// result depends on i, so its trace cannot be cached).
+func ForN(n int, body func(i int) M[Unit]) M[Unit] {
+	if n <= 0 {
+		return Skip
+	}
+	return func(k func(Unit) Trace) Trace {
+		s := &forSpine{n: n, body: body, k: k}
+		s.cont = s.step
+		s.node.Effect = s.bounce
+		return body(0)(s.cont)
+	}
+}
+
+type forSpine struct {
+	i    int
+	n    int
+	body func(int) M[Unit]
+	k    func(Unit) Trace
+	cont func(Unit) Trace // s.step, allocated once per spine
+	node NBIONode
+}
+
+func (s *forSpine) step(Unit) Trace { return &s.node }
+
+func (s *forSpine) bounce() Trace {
+	i := s.i + 1
+	if i >= s.n {
+		s.i = 0 // reset: a retained trace may replay this spine
+		return s.k(Unit{})
+	}
+	s.i = i
+	return s.body(i)(s.cont)
+}
+
+// ForEach runs body on each element of xs in order.
+func ForEach[A any](xs []A, body func(A) M[Unit]) M[Unit] {
+	return ForN(len(xs), func(i int) M[Unit] { return body(xs[i]) })
+}
+
+// RepeatN runs body n times. It is ForN for the common constant-body
+// case: because body does not see the iteration index, its trace is
+// cached like Loop's and every iteration is allocation-free. The node
+// sequence is identical to ForN(n, func(int) M[Unit] { return body }).
+func RepeatN(n int, body M[Unit]) M[Unit] {
+	if n <= 0 {
+		return Skip
+	}
+	return func(k func(Unit) Trace) Trace {
+		s := &repeatSpine{n: n, k: k}
+		s.node.Effect = s.bounce
+		s.body = body(s.step)
+		return s.body
+	}
+}
+
+type repeatSpine struct {
+	body Trace
+	i    int
+	n    int
+	k    func(Unit) Trace
+	node NBIONode
+}
+
+func (s *repeatSpine) step(Unit) Trace { return &s.node }
+
+func (s *repeatSpine) bounce() Trace {
+	i := s.i + 1
+	if i >= s.n {
+		s.i = 0 // reset: a retained trace may replay this spine
+		return s.k(Unit{})
+	}
+	s.i = i
+	return s.body
+}
+
+// FoldN threads an accumulator through n iterations of body, returning
+// the final accumulator. It is stack-safe like the other loop
+// combinators. The spine allocates nothing per iteration beyond the
+// body's own application.
+func FoldN[A any](n int, acc A, body func(i int, acc A) M[A]) M[A] {
+	if n <= 0 {
+		return Return(acc)
+	}
+	return func(k func(A) Trace) Trace {
+		s := &foldSpine[A]{n: n, acc: acc, body: body, k: k}
+		s.cont = s.step
+		s.node.Effect = s.bounce
+		// A node-free body(0) (a bare Return) runs step eagerly at
+		// application time; the replay reset must restore the
+		// accumulator the head trace was built with, not the input.
+		head := body(0, acc)(s.cont)
+		s.accR = s.acc
+		return head
+	}
+}
+
+type foldSpine[A any] struct {
+	i    int
+	n    int
+	accR A // accumulator at the trace head, restored for replay
+	acc  A
+	body func(int, A) M[A]
+	k    func(A) Trace
+	cont func(A) Trace // s.step, allocated once per spine
+	node NBIONode
+}
+
+func (s *foldSpine[A]) step(next A) Trace {
+	s.acc = next
+	return &s.node
+}
+
+func (s *foldSpine[A]) bounce() Trace {
+	i := s.i + 1
+	if i >= s.n {
+		acc := s.acc
+		s.i, s.acc = 0, s.accR // reset: a retained trace may replay this spine
+		return s.k(acc)
+	}
+	s.i = i
+	return s.body(i, s.acc)(s.cont)
+}
+
+// BindChain compiles the right-nested chain Bind(…Bind(Bind(m, fs[0]),
+// fs[1])…, fs[n-1]) into a flat step array interpreted by one shared
+// continuation: the spine allocates twice at application and nothing per
+// link, where the nested spelling allocates one closure per link per run.
+// The chain is homogeneous in A; heterogeneous pipelines still use Bind.
+func BindChain[A any](m M[A], fs ...func(A) M[A]) M[A] {
+	if len(fs) == 0 {
+		return m
+	}
+	return func(k func(A) Trace) Trace {
+		s := &chainSpine[A]{fs: fs, k: k}
+		s.cont = s.step
+		// A node-free head (Return) or node-free links run step eagerly
+		// at application time; the replay reset must restore the cursor
+		// to the head trace's position, not to zero.
+		head := m(s.cont)
+		s.i0 = s.i
+		return head
+	}
+}
+
+type chainSpine[A any] struct {
+	fs   []func(A) M[A]
+	i    int
+	i0   int // cursor position of the trace head (see BindChain)
+	k    func(A) Trace
+	cont func(A) Trace // s.step, allocated once per spine
+}
+
+func (s *chainSpine[A]) step(a A) Trace {
+	i := s.i
+	if i == len(s.fs) {
+		s.i = s.i0 // reset: a retained trace may replay this spine
+		return s.k(a)
+	}
+	s.i = i + 1
+	return s.fs[i](a)(s.cont)
+}

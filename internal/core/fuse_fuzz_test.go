@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzFusedEquivalence builds random combinator trees from the fuzz
+// input and renders each twice — once over the fused spines (Seq, ForN,
+// RepeatN, Loop, While, FoldN, BindChain) and once over the naive
+// closure spellings (the executable spec in monad.go) — then runs both
+// on single-worker runtimes at BatchSteps=1 and requires identical
+// effect logs and identical dispatch (= trace node) counts. Node-count
+// equivalence is the property every virtual-time figure rests on: the
+// scheduler yields on a node budget, so a fused combinator that emitted
+// one node more or less would shift every downstream scheduling
+// decision.
+func FuzzFusedEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0})
+	f.Add([]byte{2, 2, 0})
+	f.Add([]byte{4, 3, 0, 5, 2, 0})
+	f.Add([]byte{7, 1, 0, 8, 0, 6, 4})
+	f.Add([]byte{9, 3, 1, 2, 0, 0, 3, 2, 0, 6, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree := parseFuseTree(&fuzzReader{data: data})
+		var lf, ln logger
+		fused := renderFuseTree(tree, &lf, true)
+		naive := renderFuseTree(tree, &ln, false)
+		df := runDispatches(t, fused)
+		dn := runDispatches(t, naive)
+		if !equalInts(lf.values(), ln.values()) {
+			t.Fatalf("effect logs differ\nfused %v\nnaive %v", lf.values(), ln.values())
+		}
+		if df != dn {
+			t.Fatalf("node counts differ: fused %d dispatches, naive %d", df, dn)
+		}
+	})
+}
+
+type fuzzReader struct {
+	data []byte
+	pos  int
+	ops  int
+}
+
+func (r *fuzzReader) next() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// fuseTree is the generator's AST: op selects the combinator, n its
+// iteration/arity knob, kids its sub-programs.
+type fuseTree struct {
+	op   byte
+	n    int
+	kids []fuseTree
+}
+
+const (
+	opEff       = iota // leaf effect
+	opSeq              // Seq(kids...)
+	opForN             // ForN(n, body from kid)
+	opRepeatN          // RepeatN(n, kid)
+	opLoop             // Loop over kid, n iterations
+	opWhile            // While(counter cond, kid)
+	opFoldN            // FoldN(n) with logged accumulator
+	opCatch            // Catch(Seq(kid, Throw, kid), handler kid)
+	opFinally          // Finally(kid, effect)
+	opBindChain        // BindChain of n logged steps
+	opCount
+)
+
+// parseFuseTree consumes fuzz bytes into a bounded tree: depth ≤ 4 and
+// at most 48 combinator nodes, so every input terminates quickly.
+func parseFuseTree(r *fuzzReader) fuseTree {
+	return parseFuseNode(r, 4)
+}
+
+func parseFuseNode(r *fuzzReader, depth int) fuseTree {
+	r.ops++
+	if depth <= 0 || r.ops > 48 {
+		return fuseTree{op: opEff}
+	}
+	nd := fuseTree{op: r.next() % opCount, n: int(r.next()%3) + 1}
+	switch nd.op {
+	case opEff, opWhile, opFoldN, opBindChain:
+		// leaf, or combinators whose body is synthesized from n
+		if nd.op == opWhile {
+			nd.kids = []fuseTree{parseFuseNode(r, depth-1)}
+		}
+	case opSeq:
+		k := int(r.next()%3) + 2
+		for i := 0; i < k; i++ {
+			nd.kids = append(nd.kids, parseFuseNode(r, depth-1))
+		}
+	case opCatch:
+		nd.kids = []fuseTree{parseFuseNode(r, depth-1), parseFuseNode(r, depth-1)}
+	default: // opForN, opRepeatN, opLoop, opFinally
+		nd.kids = []fuseTree{parseFuseNode(r, depth-1)}
+	}
+	return nd
+}
+
+var errFuzzSentinel = errors.New("fuse fuzz sentinel")
+
+// renderFuseTree renders the tree over the fused combinators when fused
+// is true, over the naive spellings otherwise. Both renderings traverse
+// the tree identically, so effect ids line up one-to-one.
+func renderFuseTree(nd fuseTree, l *logger, fused bool) M[Unit] {
+	id := 0
+	var render func(nd fuseTree) M[Unit]
+	render = func(nd fuseTree) M[Unit] {
+		id++
+		base := id * 100
+		switch nd.op {
+		case opSeq:
+			ms := make([]M[Unit], len(nd.kids))
+			for i, kid := range nd.kids {
+				ms[i] = render(kid)
+			}
+			if fused {
+				return Seq(ms...)
+			}
+			return NaiveSeq(ms...)
+		case opForN:
+			kid := render(nd.kids[0])
+			body := func(i int) M[Unit] { return Then(l.add(base+i), kid) }
+			if fused {
+				return ForN(nd.n, body)
+			}
+			return NaiveForN(nd.n, body)
+		case opRepeatN:
+			kid := render(nd.kids[0])
+			if fused {
+				return RepeatN(nd.n, kid)
+			}
+			return NaiveForN(nd.n, func(int) M[Unit] { return kid })
+		case opLoop:
+			kid := render(nd.kids[0])
+			n, limit := 0, nd.n
+			body := Bind(kid, func(Unit) M[bool] {
+				return NBIO(func() bool {
+					n++
+					return n < limit
+				})
+			})
+			if fused {
+				return Loop(body)
+			}
+			return NaiveLoop(body)
+		case opWhile:
+			kid := render(nd.kids[0])
+			n, limit := 0, nd.n
+			cond := NBIO(func() bool {
+				n++
+				return n <= limit
+			})
+			if fused {
+				return While(cond, kid)
+			}
+			return NaiveWhile(cond, kid)
+		case opFoldN:
+			body := func(i, acc int) M[int] {
+				return Then(l.add(base+i), Return(acc+i+1))
+			}
+			var m M[int]
+			if fused {
+				m = FoldN(nd.n, base, body)
+			} else {
+				m = NaiveFoldN(nd.n, base, body)
+			}
+			return Bind(m, func(acc int) M[Unit] { return l.add(acc) })
+		case opCatch:
+			body := render(nd.kids[0])
+			handler := render(nd.kids[1])
+			var seq M[Unit]
+			if fused {
+				seq = Seq(body, l.add(base), Throw[Unit](errFuzzSentinel))
+			} else {
+				seq = NaiveSeq(body, l.add(base), Throw[Unit](errFuzzSentinel))
+			}
+			return Catch(seq, func(err error) M[Unit] {
+				if !errors.Is(err, errFuzzSentinel) {
+					return Throw[Unit](err)
+				}
+				return Then(l.add(base+1), handler)
+			})
+		case opFinally:
+			kid := render(nd.kids[0])
+			return Finally(kid, l.add(base))
+		case opBindChain:
+			fs := make([]func(int) M[int], nd.n)
+			for j := 0; j < nd.n; j++ {
+				j := j
+				fs[j] = func(x int) M[int] { return Then(l.add(base+j), Return(x+j)) }
+			}
+			var m M[int]
+			if fused {
+				m = BindChain(Return(base), fs...)
+			} else {
+				m = NaiveBindChain(Return(base), fs...)
+			}
+			return Bind(m, func(x int) M[Unit] { return l.add(x) })
+		default: // opEff
+			return l.add(base)
+		}
+	}
+	return render(nd)
+}

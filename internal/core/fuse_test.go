@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// The fused spines in fuse.go claim node-sequence equivalence with the
+// naive closure spellings in monad.go (the executable spec). These tests
+// check it two ways: the effect log must match, and — run at
+// BatchSteps=1, where every interpreted node costs one dispatch — the
+// scheduler's dispatch counter must match, which pins the node count the
+// virtual-time figures depend on.
+
+// runDispatches executes m on a fresh single-worker runtime interpreting
+// one node per dispatch and returns the dispatch count.
+func runDispatches(t *testing.T, m M[Unit]) int64 {
+	t.Helper()
+	rt := NewRuntime(Options{Workers: 1, BatchSteps: 1, BlioWorkers: BlioInline})
+	defer rt.Shutdown()
+	rt.Run(m)
+	return rt.Stats().Snapshot().Counter("dispatches")
+}
+
+// checkEquivalent runs matched fused/naive programs and requires equal
+// effect logs and equal node (dispatch) counts.
+func checkEquivalent(t *testing.T, name string, fused, naive func(l *logger) M[Unit]) {
+	t.Helper()
+	var lf, ln logger
+	df := runDispatches(t, fused(&lf))
+	dn := runDispatches(t, naive(&ln))
+	if !equalInts(lf.values(), ln.values()) {
+		t.Fatalf("%s: effect logs differ\nfused %v\nnaive %v", name, lf.values(), ln.values())
+	}
+	if df != dn {
+		t.Fatalf("%s: node counts differ: fused %d dispatches, naive %d", name, df, dn)
+	}
+}
+
+func TestFusedSeqEquivalence(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		mk := func(seq func(...M[Unit]) M[Unit]) func(l *logger) M[Unit] {
+			return func(l *logger) M[Unit] {
+				ms := make([]M[Unit], n)
+				for i := range ms {
+					ms[i] = l.add(i)
+				}
+				return seq(ms...)
+			}
+		}
+		checkEquivalent(t, "Seq", mk(Seq), mk(NaiveSeq))
+	}
+}
+
+func TestFusedLoopEquivalence(t *testing.T) {
+	mk := func(loop func(M[bool]) M[Unit]) func(l *logger) M[Unit] {
+		return func(l *logger) M[Unit] {
+			n := 0
+			return loop(Then(l.add(7), NBIO(func() bool {
+				n++
+				return n < 5
+			})))
+		}
+	}
+	checkEquivalent(t, "Loop", mk(Loop), mk(NaiveLoop))
+}
+
+func TestFusedForNEquivalence(t *testing.T) {
+	for _, n := range []int{0, 1, 4} {
+		mk := func(forN func(int, func(int) M[Unit]) M[Unit]) func(l *logger) M[Unit] {
+			return func(l *logger) M[Unit] {
+				return forN(n, func(i int) M[Unit] { return l.add(i * 10) })
+			}
+		}
+		checkEquivalent(t, "ForN", mk(ForN), mk(NaiveForN))
+	}
+}
+
+func TestRepeatNEquivalence(t *testing.T) {
+	// RepeatN's spec is ForN with a constant body.
+	checkEquivalent(t, "RepeatN",
+		func(l *logger) M[Unit] { return RepeatN(4, l.add(3)) },
+		func(l *logger) M[Unit] { return NaiveForN(4, func(int) M[Unit] { return l.add(3) }) })
+}
+
+func TestFusedWhileEquivalence(t *testing.T) {
+	mk := func(while func(M[bool], M[Unit]) M[Unit]) func(l *logger) M[Unit] {
+		return func(l *logger) M[Unit] {
+			n := 0
+			cond := NBIO(func() bool {
+				n++
+				return n <= 4
+			})
+			return while(cond, l.add(9))
+		}
+	}
+	checkEquivalent(t, "While", mk(While), mk(NaiveWhile))
+}
+
+func TestFusedFoldNEquivalence(t *testing.T) {
+	mk := func(fold func(int, int, func(int, int) M[int]) M[int]) func(l *logger) M[Unit] {
+		return func(l *logger) M[Unit] {
+			m := fold(5, 100, func(i, acc int) M[int] {
+				return Then(l.add(i), Return(acc+i))
+			})
+			return Bind(m, func(acc int) M[Unit] { return l.add(acc) })
+		}
+	}
+	checkEquivalent(t, "FoldN", mk(FoldN[int]), mk(NaiveFoldN[int]))
+}
+
+func TestBindChainEquivalence(t *testing.T) {
+	mk := func(chain func(M[int], ...func(int) M[int]) M[int]) func(l *logger) M[Unit] {
+		return func(l *logger) M[Unit] {
+			fs := make([]func(int) M[int], 4)
+			for j := range fs {
+				j := j
+				fs[j] = func(x int) M[int] { return Then(l.add(j), Return(x+j)) }
+			}
+			m := chain(Return(1), fs...)
+			return Bind(m, func(x int) M[Unit] { return l.add(x) })
+		}
+	}
+	checkEquivalent(t, "BindChain", mk(BindChain[int]), mk(NaiveBindChain[int]))
+}
+
+// TestFusedLoopReplay checks replay safety: a fused loop trace retained
+// inside a RepeatN body is re-forced from the head after completing, and
+// must run in full each time (the spine resets its cursor at the k
+// handoff).
+func TestFusedLoopReplay(t *testing.T) {
+	var l logger
+	inner := ForN(3, func(i int) M[Unit] { return l.add(i) })
+	run(t, RepeatN(2, inner))
+	if !equalInts(l.values(), []int{0, 1, 2, 0, 1, 2}) {
+		t.Fatalf("replayed ForN log = %v", l.values())
+	}
+	l.xs = nil
+	n := 0
+	loop := Loop(NBIO(func() bool {
+		n++
+		l.mu.Lock()
+		l.xs = append(l.xs, n)
+		l.mu.Unlock()
+		return n%3 != 0
+	}))
+	run(t, RepeatN(2, loop))
+	if !equalInts(l.values(), []int{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("replayed Loop log = %v", l.values())
+	}
+}
+
+// TestFusedCatchInteraction: a fused Seq inside Catch must unwind to the
+// handler exactly like the naive spelling when an element throws.
+func TestFusedCatchInteraction(t *testing.T) {
+	sentinel := errors.New("boom")
+	mk := func(seq func(...M[Unit]) M[Unit]) func(l *logger) M[Unit] {
+		return func(l *logger) M[Unit] {
+			return Catch(
+				seq(l.add(1), Throw[Unit](sentinel), l.add(2)),
+				func(err error) M[Unit] {
+					if !errors.Is(err, sentinel) {
+						return Throw[Unit](err)
+					}
+					return l.add(3)
+				},
+			)
+		}
+	}
+	checkEquivalent(t, "Seq-in-Catch", mk(Seq), mk(NaiveSeq))
+}
+
+// ---------------------------------------------------------------------------
+// Allocation pins for the fused fast path (the blocking core-alloc CI leg).
+// ---------------------------------------------------------------------------
+
+// spinAllocs measures allocations per iteration of a 400-iteration spin
+// under the given loop constructor on a warm runtime.
+func spinAllocs(t *testing.T, mkLoop func(iters int, probe M[bool]) M[Unit]) float64 {
+	t.Helper()
+	rt := NewRuntime(Options{Workers: 1, BlioWorkers: BlioInline})
+	t.Cleanup(rt.Shutdown)
+	const iters = 400
+	total := testing.AllocsPerRun(10, func() {
+		n := 0
+		probe := NBIO(func() bool {
+			n++
+			return n < iters
+		})
+		rt.Run(mkLoop(iters, probe))
+	})
+	return total / iters
+}
+
+// TestAllocFusedLoopSpin pins the tentpole claim: a fused Loop iteration
+// allocates nothing. The whole 400-iteration run is allowed the fixed
+// spine/thread setup cost only.
+func TestAllocFusedLoopSpin(t *testing.T) {
+	per := spinAllocs(t, func(_ int, probe M[bool]) M[Unit] { return Loop(probe) })
+	if per > 0.05 {
+		t.Fatalf("fused Loop allocates %.3f allocs/iteration, want 0", per)
+	}
+}
+
+// TestAllocFusedForNSpin pins ForN's spine: with an allocation-free body
+// the per-iteration cost is zero.
+func TestAllocFusedForNSpin(t *testing.T) {
+	per := spinAllocs(t, func(iters int, _ M[bool]) M[Unit] {
+		return ForN(iters, func(int) M[Unit] { return Skip })
+	})
+	if per > 0.05 {
+		t.Fatalf("fused ForN allocates %.3f allocs/iteration, want 0", per)
+	}
+}
+
+// TestAllocRepeatNSpin pins the constant-body cache: RepeatN re-forces
+// one cached body trace with no per-iteration allocation.
+func TestAllocRepeatNSpin(t *testing.T) {
+	rt := NewRuntime(Options{Workers: 1, BlioWorkers: BlioInline})
+	t.Cleanup(rt.Shutdown)
+	const iters = 400
+	var n int
+	body := Do(func() { n++ })
+	total := testing.AllocsPerRun(10, func() {
+		n = 0
+		rt.Run(RepeatN(iters, body))
+		if n != iters {
+			t.Fatalf("RepeatN ran %d iterations, want %d", n, iters)
+		}
+	})
+	if per := total / iters; per > 0.05 {
+		t.Fatalf("RepeatN allocates %.3f allocs/iteration, want 0", per)
+	}
+}

@@ -10,8 +10,8 @@ package core
 // written with Go generics. Go has no higher-kinded types, so return and
 // bind are top-level generic functions rather than methods of a Monad
 // class, and there is no do-notation: threads are written by chaining Bind
-// and the loop combinators below (the "monadic style forced" trade-off of
-// this reproduction).
+// and the loop combinators in fuse.go (the "monadic style forced" trade-off
+// of this reproduction).
 type M[A any] func(k func(A) Trace) Trace
 
 // Return lifts a value into the monad: given a continuation, it simply
@@ -47,9 +47,27 @@ func Map[A, B any](m M[A], f func(A) B) M[B] {
 // Skip is the unit computation: it does nothing (Haskell's return ()).
 var Skip M[Unit] = Return(Unit{})
 
-// Seq sequences unit computations in order, a stand-in for a do-block of
-// statements.
-func Seq(ms ...M[Unit]) M[Unit] {
+// BuildTrace converts a thread into its trace by supplying the final
+// continuation (a leaf RetNode), exactly as the paper's build_trace.
+func BuildTrace(m M[Unit]) Trace {
+	return m(func(Unit) Trace { return ret })
+}
+
+// ---------------------------------------------------------------------------
+// Naive (closure-spine) reference combinators
+// ---------------------------------------------------------------------------
+//
+// These are the original closure spellings of Seq and the stack-safe loop
+// combinators: every iteration rebuilds its continuation closure and
+// allocates a fresh trampoline NBIONode. They are retained as the
+// executable specification for the fused fast paths in fuse.go — the
+// FuzzFusedEquivalence differential test asserts the fused combinators
+// produce the same effect order and results, and BenchmarkStepsPerSecNaive
+// pins the before side of the flattening win. New code should use the
+// unprefixed combinators.
+
+// NaiveSeq is the closure-spine reference for Seq.
+func NaiveSeq(ms ...M[Unit]) M[Unit] {
 	switch len(ms) {
 	case 0:
 		return Skip
@@ -68,26 +86,10 @@ func Seq(ms ...M[Unit]) M[Unit] {
 	}
 }
 
-// BuildTrace converts a thread into its trace by supplying the final
-// continuation (a leaf RetNode), exactly as the paper's build_trace.
-func BuildTrace(m M[Unit]) Trace {
-	return m(func(Unit) Trace { return ret })
-}
-
-// ---------------------------------------------------------------------------
-// Stack-safe loop combinators
-// ---------------------------------------------------------------------------
-//
-// CPS in Go pushes a stack frame per bind even for tail calls, so a pure
-// loop written by naive recursion would overflow the Go stack. The loop
-// combinators below bounce each iteration through a trampoline node (a
-// pure NBIONode), which unwinds the Go stack to the scheduler between
-// iterations; the scheduler's batching (Options.BatchSteps) keeps the
-// bounce cheap. Any loop containing a real system call gets the same
-// unwinding for free.
-
-// Loop runs body repeatedly for as long as it returns true.
-func Loop(body M[bool]) M[Unit] {
+// NaiveLoop is the closure-spine reference for Loop: it re-applies body to
+// a freshly allocated continuation and bounces through a fresh NBIONode on
+// every iteration.
+func NaiveLoop(body M[bool]) M[Unit] {
 	return func(k func(Unit) Trace) Trace {
 		var iter func() Trace
 		iter = func() Trace {
@@ -102,14 +104,13 @@ func Loop(body M[bool]) M[Unit] {
 	}
 }
 
-// Forever runs body repeatedly, never returning. The thread can still end
-// via Halt or Throw inside the body.
-func Forever(body M[Unit]) M[Unit] {
-	return Loop(Then(body, Return(true)))
+// NaiveForever is the closure-spine reference for Forever.
+func NaiveForever(body M[Unit]) M[Unit] {
+	return NaiveLoop(Then(body, Return(true)))
 }
 
-// ForN runs body(0), body(1), …, body(n-1) in order.
-func ForN(n int, body func(i int) M[Unit]) M[Unit] {
+// NaiveForN is the closure-spine reference for ForN.
+func NaiveForN(n int, body func(i int) M[Unit]) M[Unit] {
 	return func(k func(Unit) Trace) Trace {
 		var iter func(i int) Trace
 		iter = func(i int) Trace {
@@ -124,15 +125,9 @@ func ForN(n int, body func(i int) M[Unit]) M[Unit] {
 	}
 }
 
-// ForEach runs body on each element of xs in order.
-func ForEach[A any](xs []A, body func(A) M[Unit]) M[Unit] {
-	return ForN(len(xs), func(i int) M[Unit] { return body(xs[i]) })
-}
-
-// While runs body repeatedly for as long as cond returns true. cond is an
-// effectful computation, so it can inspect shared state via NBIO.
-func While(cond M[bool], body M[Unit]) M[Unit] {
-	return Loop(Bind(cond, func(ok bool) M[bool] {
+// NaiveWhile is the closure-spine reference for While.
+func NaiveWhile(cond M[bool], body M[Unit]) M[Unit] {
+	return NaiveLoop(Bind(cond, func(ok bool) M[bool] {
 		if !ok {
 			return Return(false)
 		}
@@ -140,9 +135,8 @@ func While(cond M[bool], body M[Unit]) M[Unit] {
 	}))
 }
 
-// FoldN threads an accumulator through n iterations of body, returning the
-// final accumulator. It is stack-safe like the other loop combinators.
-func FoldN[A any](n int, acc A, body func(i int, acc A) M[A]) M[A] {
+// NaiveFoldN is the closure-spine reference for FoldN.
+func NaiveFoldN[A any](n int, acc A, body func(i int, acc A) M[A]) M[A] {
 	return func(k func(A) Trace) Trace {
 		var iter func(i int, acc A) Trace
 		iter = func(i int, acc A) Trace {
@@ -155,4 +149,14 @@ func FoldN[A any](n int, acc A, body func(i int, acc A) M[A]) M[A] {
 		}
 		return iter(0, acc)
 	}
+}
+
+// NaiveBindChain is the right-nested Bind spelling of BindChain: each step
+// allocates one continuation closure per link per run.
+func NaiveBindChain[A any](m M[A], fs ...func(A) M[A]) M[A] {
+	out := m
+	for _, f := range fs {
+		out = Bind(out, f)
+	}
+	return out
 }

@@ -238,6 +238,58 @@ func (io *IO) SockReadFull(fd kernel.FD, p []byte) core.M[int] {
 	return step(0)
 }
 
+// SockReadFullCell returns a computation that, each time its trace is
+// forced, reads exactly len(*cell) bytes into *cell (fewer at end of
+// stream) — the defunctionalized sibling of SockReadFull for flattened
+// callers that build the M once and re-force its trace per message (the
+// fig18 FIFO pump). Like SockSendCell, the retry loop lives in a
+// per-application state struct with one embedded NBIONode and one
+// pre-applied EpollWait park trace, so steady-state receives allocate no
+// nodes; the node sequence matches SockReadFull's. The count delivered
+// is the total bytes read.
+func (io *IO) SockReadFullCell(fd kernel.FD, cell *[]byte) core.M[int] {
+	return func(k func(int) core.Trace) core.Trace {
+		s := &readFullCellState{io: io, fd: fd, cell: cell, k: k}
+		s.node.Effect = s.try
+		s.park = io.EpollWait(fd, kernel.EventRead)(s.retry)
+		return &s.node
+	}
+}
+
+type readFullCellState struct {
+	io   *IO
+	fd   kernel.FD
+	cell *[]byte
+	k    func(int) core.Trace
+	got  int
+	node core.NBIONode
+	park core.Trace // EpollWait(EventRead) resuming into node
+}
+
+func (s *readFullCellState) retry(kernel.Event) core.Trace { return &s.node }
+
+func (s *readFullCellState) try() core.Trace {
+	p := *s.cell
+	n, err := s.io.k.Read(s.fd, p[s.got:])
+	if err != nil {
+		if errors.Is(err, kernel.ErrAgain) {
+			return s.park
+		}
+		if errors.Is(err, kernel.ErrIntr) {
+			return &s.node // interrupted before the transfer; retry now
+		}
+		s.got = 0
+		return &core.ThrowNode{Err: err}
+	}
+	s.got += n
+	if n > 0 && s.got < len(p) {
+		return &s.node
+	}
+	got := s.got
+	s.got = 0 // reset: the trace re-enters per message
+	return s.k(got)
+}
+
 // SockSend writes all of p, waiting for buffer space as needed (the
 // paper's sock_send).
 func (io *IO) SockSend(fd kernel.FD, p []byte) core.M[int] {
@@ -267,6 +319,66 @@ func (io *IO) SockSend(fd kernel.FD, p []byte) core.M[int] {
 		)
 	}
 	return try(p)
+}
+
+// SockSendCell returns a computation that, each time its trace is
+// forced, writes all of the buffer *cell holds at that moment — the
+// defunctionalized sibling of SockSend for flattened state-machine
+// callers (the httpd serve loop) that build the M once per connection
+// and re-enter its trace once per response. The retry loop lives in a
+// per-application state struct with one embedded NBIONode and one
+// pre-applied EpollWait park trace, so steady-state sends allocate no
+// nodes; the emitted node sequence — one NBIO attempt per partial
+// transfer, a park plus a retry attempt per EAGAIN — is exactly
+// SockSend's. *cell must be non-empty at entry and must not be mutated
+// until the computation delivers its count (the total bytes written).
+func (io *IO) SockSendCell(fd kernel.FD, cell *[]byte) core.M[int] {
+	return func(k func(int) core.Trace) core.Trace {
+		s := &sendCellState{io: io, fd: fd, cell: cell, k: k}
+		s.node.Effect = s.try
+		s.park = io.EpollWait(fd, kernel.EventWrite)(s.retry)
+		return &s.node
+	}
+}
+
+type sendCellState struct {
+	io     *IO
+	fd     kernel.FD
+	cell   *[]byte
+	k      func(int) core.Trace
+	rest   []byte
+	total  int
+	active bool
+	node   core.NBIONode
+	park   core.Trace // EpollWait(EventWrite) resuming into node
+}
+
+func (s *sendCellState) retry(kernel.Event) core.Trace { return &s.node }
+
+func (s *sendCellState) try() core.Trace {
+	if !s.active {
+		s.active = true
+		s.rest = *s.cell
+		s.total = len(s.rest)
+	}
+	n, err := s.io.k.Write(s.fd, s.rest)
+	if err != nil {
+		if errors.Is(err, kernel.ErrAgain) {
+			return s.park
+		}
+		if errors.Is(err, kernel.ErrIntr) {
+			return &s.node // interrupted before the transfer; retry now
+		}
+		s.active, s.rest = false, nil
+		return &core.ThrowNode{Err: err}
+	}
+	s.rest = s.rest[n:]
+	if len(s.rest) > 0 {
+		return &s.node
+	}
+	total := s.total
+	s.active, s.rest = false, nil // reset: the trace re-enters per response
+	return s.k(total)
 }
 
 // SockConnect opens a connection to a listener address.

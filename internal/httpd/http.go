@@ -72,6 +72,19 @@ var ErrMalformedRequest = errors.New("httpd: malformed request")
 // so a well-formed request costs only the Request, its header map, and
 // the map's entries.
 func ParseRequest(head string) (*Request, error) {
+	req := &Request{}
+	if err := ParseRequestInto(req, head); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ParseRequestInto parses a request head into req, reusing req's header
+// map across calls (cleared, not reallocated) — the flattened serve loop
+// holds one Request per connection, so a steady-state keep-alive request
+// parses with no per-request allocation beyond the head string itself.
+// On error req's fields are unspecified.
+func ParseRequestInto(req *Request, head string) error {
 	s := strings.TrimSuffix(head, "\r\n")
 
 	// Request line: exactly three space-separated fields (so exactly two
@@ -84,17 +97,19 @@ func ParseRequest(head string) (*Request, error) {
 		i2 = strings.IndexByte(line[i1+1:], ' ')
 	}
 	if i1 < 0 || i2 < 0 {
-		return nil, fmt.Errorf("%w: request line %q", ErrMalformedRequest, line)
+		return fmt.Errorf("%w: request line %q", ErrMalformedRequest, line)
 	}
 	version := line[i1+1+i2+1:]
 	if strings.IndexByte(version, ' ') >= 0 || !strings.HasPrefix(version, "HTTP/") {
-		return nil, fmt.Errorf("%w: request line %q", ErrMalformedRequest, line)
+		return fmt.Errorf("%w: request line %q", ErrMalformedRequest, line)
 	}
-	req := &Request{
-		Method:  line[:i1],
-		Path:    line[i1+1 : i1+1+i2],
-		Version: version,
-		Headers: make(map[string]string, 4),
+	req.Method = line[:i1]
+	req.Path = line[i1+1 : i1+1+i2]
+	req.Version = version
+	if req.Headers == nil {
+		req.Headers = make(map[string]string, 4)
+	} else {
+		clear(req.Headers)
 	}
 	for rest != "" {
 		line, rest = nextLine(rest)
@@ -103,11 +118,11 @@ func ParseRequest(head string) (*Request, error) {
 		}
 		i := strings.IndexByte(line, ':')
 		if i < 0 {
-			return nil, fmt.Errorf("%w: header %q", ErrMalformedRequest, line)
+			return fmt.Errorf("%w: header %q", ErrMalformedRequest, line)
 		}
 		req.Headers[lowerHeaderKey(strings.TrimSpace(line[:i]))] = strings.TrimSpace(line[i+1:])
 	}
-	return req, nil
+	return nil
 }
 
 // nextLine splits s at the first CRLF; rest is empty on the last line.

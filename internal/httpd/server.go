@@ -67,6 +67,30 @@ func (t TCPTransport) WriteOwned(p []byte) core.M[int] {
 	return core.Map(t.Conn.WriteVM(iovec.FromBytes(p)), func(core.Unit) int { return len(p) })
 }
 
+// CellWriter is an optional Transport capability for the flattened serve
+// loop: WriteCell returns a computation that, each time its trace is
+// forced, writes all of the buffer *cell holds at that moment, by the
+// transport's best path (by reference where it has one). The serve loop
+// applies it once per connection and re-enters the trace per response,
+// so steady-state responses allocate no write nodes. The emitted node
+// sequence is exactly the per-request Write/WriteOwned sequence, so the
+// fast path changes no scheduling decisions. *cell must be non-empty at
+// entry and must not change until the count is delivered.
+type CellWriter interface {
+	WriteCell(cell *[]byte) core.M[int]
+}
+
+// WriteCell sends by the copying socket path, like Write.
+func (s SockTransport) WriteCell(cell *[]byte) core.M[int] {
+	return s.IO.SockSendCell(s.FD, cell)
+}
+
+// WriteCell queues by reference via the vectored send path, like
+// WriteOwned — cached responses stay zero-copy on the fast path.
+func (t TCPTransport) WriteCell(cell *[]byte) core.M[int] {
+	return t.Conn.WriteCellVM(cell)
+}
+
 // ServerConfig tunes the hybrid server.
 type ServerConfig struct {
 	// CacheBytes is the application-level cache size; the paper's server
@@ -385,8 +409,68 @@ func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
 			}
 			return closeTrace
 		}
+
+		// Flattened cached-GET fast path. When the transport can write
+		// through a cell (CellWriter) and no request deadline wraps
+		// responses in a timeout race, the whole cached response — head
+		// write, body write, byte accounting, keep-alive decision — is two
+		// trace re-entries of computations applied here, once per
+		// connection: the parse effect stores the response buffers in the
+		// cells and jumps to the pre-applied head-write trace. The request
+		// struct and its header map are reused across requests for the
+		// same reason (safe exactly because no deadline path can retain
+		// the request beyond its response). Counters fire at the same
+		// positions respond() fires them, and the node sequence is
+		// identical to the per-request spelling, so figure output does not
+		// move. Everything else — HEAD, bad requests, cache misses,
+		// deadline-bounded serving — falls back to respondBounded.
+		var (
+			cellHead, cellData []byte
+			cellKeep           bool
+			fastReq            Request
+			fastHead           core.Trace
+		)
+		useFast := false
+		if cw, ok := t.(CellWriter); ok && s.cfg.RequestDeadline <= 0 {
+			useFast = true
+			dataTrace := cw.WriteCell(&cellData)(func(n int) core.Trace {
+				s.bytesOut.Add(uint64(n))
+				return afterRespond(cellKeep)
+			})
+			fastHead = cw.WriteCell(&cellHead)(func(int) core.Trace { return dataTrace })
+		}
+		respondTrace := func(req *Request) core.Trace {
+			if useFast && req.Method == "GET" {
+				name := strings.TrimPrefix(req.Path, "/")
+				if name == "" || strings.Contains(name, "..") {
+					s.requests.Add(1)
+					return s.sendError(t, 400, req.KeepAlive())(afterRespond)
+				}
+				s.requests.Add(1)
+				keep := req.KeepAlive()
+				if data, ok := s.cache.Get(name); ok {
+					s.cachedServes.Add(1)
+					if s.ovl != nil {
+						s.classCached.Add(1)
+					}
+					cellKeep = keep
+					cellHead = ResponseHead(200, int64(len(data)), keep)
+					cellData = data
+					return fastHead
+				}
+				return s.respondMiss(t, name, keep)(afterRespond)
+			}
+			return s.respondBounded(t, req)(afterRespond)
+		}
+
 		parseNode = &core.NBIONode{Effect: func() core.Trace {
-			req, err := ParseRequest(headStr)
+			var req *Request
+			var err error
+			if useFast {
+				req, err = &fastReq, ParseRequestInto(&fastReq, headStr)
+			} else {
+				req, err = ParseRequest(headStr)
+			}
 			if err != nil {
 				return &core.ThrowNode{Err: err}
 			}
@@ -394,12 +478,12 @@ func (s *Server) ServeTransport(t Transport) core.M[core.Unit] {
 				if drain := s.drainBody(t, hb, req, w, buf); drain != nil {
 					return drain(func(core.Unit) core.Trace {
 						w.toWrite()
-						return s.respondBounded(t, req)(afterRespond)
+						return respondTrace(req)
 					})
 				}
 				w.toWrite()
 			}
-			return s.respondBounded(t, req)(afterRespond)
+			return respondTrace(req)
 		}}
 		feedNode = &core.NBIONode{Effect: func() core.Trace {
 			head, err := hb.Feed(buf[:nRead])
@@ -559,9 +643,15 @@ func (s *Server) respond(t Transport, req *Request) core.M[bool] {
 		}
 	}
 
-	// Miss: the blocking-disk cost class. Under an open breaker the
-	// request is shed with an immediate 503 — cached requests above never
-	// reach this point, so shedding protects exactly the expensive path.
+	return s.respondMiss(t, name, keep)
+}
+
+// respondMiss serves a cache-missing GET: the blocking-disk cost class.
+// Under an open breaker the request is shed with an immediate 503 —
+// cached requests never reach this point, so shedding protects exactly
+// the expensive path. It is shared by respond and the flattened serve
+// loop's fast path (whose own cache probe already counted the miss).
+func (s *Server) respondMiss(t Transport, name string, keep bool) core.M[bool] {
 	if s.ovl != nil {
 		s.classDisk.Add(1)
 		if s.ovl.breaker != nil {

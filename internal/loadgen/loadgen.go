@@ -137,10 +137,7 @@ func (g *Generator) client(id int) core.M[core.Unit] {
 		return g.sessions(next, hb, buf)
 	}
 	body := func(conn kernel.FD) core.M[core.Unit] {
-		return core.ForN(g.cfg.RequestsPerClient, func(int) core.M[core.Unit] {
-			name := FileName(int(next() % uint64(g.cfg.Files)))
-			return g.oneRequest(conn, name, hb, buf)
-		})
+		return g.requestSeq(conn, g.cfg.RequestsPerClient, next, hb, buf)
 	}
 	connect := g.io.SockConnect(g.cfg.Addr)
 	if g.cfg.ConnectRetries > 0 {
@@ -187,10 +184,7 @@ func (g *Generator) sessions(next func() uint64, hb *httpd.HeadBuffer, buf []byt
 		backoff = time.Millisecond
 	}
 	work := func(conn kernel.FD) core.M[core.Unit] {
-		return core.ForN(per, func(int) core.M[core.Unit] {
-			name := FileName(int(next() % uint64(g.cfg.Files)))
-			return g.oneRequest(conn, name, hb, buf)
-		})
+		return g.requestSeq(conn, per, next, hb, buf)
 	}
 	one := func() core.M[core.Unit] {
 		// A stale session may have left response fragments behind.
@@ -223,93 +217,6 @@ func (g *Generator) sessions(next func() uint64, hb *httpd.HeadBuffer, buf []byt
 			})
 		}
 		return loop()
-	})
-}
-
-// oneRequest issues one GET and consumes the full response. hb and buf
-// are the calling client's reusable scratch: the routine drains the full
-// body and resets hb, so both are empty again when it returns.
-func (g *Generator) oneRequest(conn kernel.FD, name string, hb *httpd.HeadBuffer, buf []byte) core.M[core.Unit] {
-	req := []byte("GET /" + name + " HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\n\r\n")
-
-	// Read the response head.
-	var readHead func() core.M[string]
-	readHead = func() core.M[string] {
-		return core.Bind(g.io.SockRead(conn, buf), func(n int) core.M[string] {
-			if n == 0 {
-				return core.Throw[string](fmt.Errorf("loadgen: connection closed mid-response"))
-			}
-			return core.Bind(
-				core.NBIOe(func() (string, error) { return hb.Feed(buf[:n]) }),
-				func(head string) core.M[string] {
-					if head == "" {
-						return readHead()
-					}
-					return core.Return(head)
-				},
-			)
-		})
-	}
-
-	// Drain the body: bytes already in the head buffer count first.
-	var drain func(remaining int64) core.M[core.Unit]
-	drain = func(remaining int64) core.M[core.Unit] {
-		if remaining <= 0 {
-			return core.Skip
-		}
-		want := int64(len(buf))
-		if want > remaining {
-			want = remaining
-		}
-		return core.Bind(g.io.SockRead(conn, buf[:want]), func(n int) core.M[core.Unit] {
-			if n == 0 {
-				return core.Throw[core.Unit](fmt.Errorf("loadgen: truncated body"))
-			}
-			return drain(remaining - int64(n))
-		})
-	}
-
-	var status int // set while parsing the head, read in the accounting step
-	sendReq := core.Bind(g.io.SockSend(conn, req), func(int) core.M[core.Unit] { return core.Skip })
-	work := core.Bind(core.Then(sendReq, readHead()), func(head string) core.M[core.Unit] {
-		return core.Bind(
-			core.NBIOe(func() (int64, error) {
-				st, length, err := httpd.ParseResponseHead(head)
-				if err != nil {
-					return 0, err
-				}
-				status = st
-				if status >= 100 && status < 600 {
-					g.Statuses[status/100].Add(1)
-				}
-				return length, nil
-			}),
-			func(length int64) core.M[core.Unit] {
-				// Part of the body may already be buffered past the head.
-				buffered := int64(hb.Buffered())
-				hb.Reset()
-				toRead := length - buffered
-				return core.Then(
-					drain(toRead),
-					core.Then(g.netDelay(length), core.Do(func() {
-						g.Requests.Add(1)
-						g.Bytes.Add(uint64(length))
-						if status/100 == 2 {
-							g.Goodput.Add(uint64(length))
-						}
-					})),
-				)
-			},
-		)
-	})
-	if g.lat == nil {
-		return work
-	}
-	clk := g.io.Clock()
-	return core.Bind(core.NBIO(clk.Now), func(start vclock.Time) core.M[core.Unit] {
-		return core.Then(work, core.Do(func() {
-			g.lat.Observe(int64(time.Duration(clk.Now()-start) / time.Microsecond))
-		}))
 	})
 }
 

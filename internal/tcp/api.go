@@ -280,6 +280,63 @@ func (c *Conn) WriteVM(v iovec.Vec) core.M[core.Unit] {
 	return step(v)
 }
 
+// WriteCellVM returns a computation that, each time its trace is forced,
+// queues all of the buffer *cell holds at that moment by reference via
+// the vectored send path — the defunctionalized sibling of WriteVM for
+// flattened state-machine callers (the httpd serve loop) that build the
+// M once per connection and re-enter its trace once per response. The
+// retry loop lives in a per-application state struct with one embedded
+// NBIONode and one pre-applied OnSendReady park trace, so steady-state
+// sends allocate no nodes; the emitted node sequence — one NBIO attempt
+// per partial transfer, a park plus a retry attempt per full buffer —
+// is exactly WriteVM's. *cell must be non-empty at entry, its storage
+// transfers to the stack (never mutate it afterwards), and the
+// delivered count is the total bytes queued.
+func (c *Conn) WriteCellVM(cell *[]byte) core.M[int] {
+	return func(k func(int) core.Trace) core.Trace {
+		s := &writeCellState{c: c, cell: cell, k: k}
+		s.node.Effect = s.try
+		s.park = await(c.OnSendReady)(s.retry)
+		return &s.node
+	}
+}
+
+type writeCellState struct {
+	c      *Conn
+	cell   *[]byte
+	k      func(int) core.Trace
+	rest   iovec.Vec
+	total  int
+	active bool
+	node   core.NBIONode
+	park   core.Trace // await(OnSendReady) resuming into node
+}
+
+func (s *writeCellState) retry(core.Unit) core.Trace { return &s.node }
+
+func (s *writeCellState) try() core.Trace {
+	if !s.active {
+		s.active = true
+		s.rest = iovec.FromBytes(*s.cell)
+		s.total = len(*s.cell)
+	}
+	n, err := s.c.TryWriteV(s.rest)
+	if errors.Is(err, ErrWouldBlock) {
+		return s.park
+	}
+	if err != nil {
+		s.active, s.rest = false, iovec.Vec{}
+		return &core.ThrowNode{Err: err}
+	}
+	s.rest = s.rest.Drop(n)
+	if !s.rest.Empty() {
+		return &s.node
+	}
+	total := s.total
+	s.active, s.rest = false, iovec.Vec{} // reset: the trace re-enters per response
+	return s.k(total)
+}
+
 // WriteV is the blocking variant of WriteVM (Stack.Go discipline applies
 // on a virtual clock).
 func (c *Conn) WriteV(v iovec.Vec) error {
